@@ -1,0 +1,50 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "arch/machine_model.hpp"
+#include "arch/platform.hpp"
+
+namespace vpar::bench {
+
+/// One (application, platform, concurrency) cell: the model's prediction
+/// plus the paper's measured Gflops/P where the paper reports one.
+struct Cell {
+  arch::Prediction prediction;
+  std::optional<double> paper_gflops;
+};
+
+/// Per-application cell evaluators. Each synthesizes the paper-scale
+/// workload profile with the port variant the paper used on that platform
+/// (cache-blocked loops on superscalars, long-vector forms plus
+/// work-vector/multiple-FFT transforms on the ES and X1, CAF or vectorized
+/// boundary/shift variants where the paper says so) and runs the machine
+/// model.
+
+/// Table 3: grid is 4096 or 8192 (square), procs a squared integer.
+[[nodiscard]] Cell lbmhd_cell(const arch::PlatformSpec& platform, std::size_t grid,
+                              int procs, bool caf);
+
+/// Table 4: atoms is 432 or 686.
+[[nodiscard]] Cell paratec_cell(const arch::PlatformSpec& platform, int atoms,
+                                int procs);
+
+/// Table 5: per-processor grid 80^3 ("small") or 250x64x64 ("large").
+[[nodiscard]] Cell cactus_cell(const arch::PlatformSpec& platform, bool large,
+                               int procs);
+
+/// Table 6: particles per cell is 10 or 100; hybrid adds 16-way OpenMP
+/// (procs = 1024 over 64 domains).
+[[nodiscard]] Cell gtc_cell(const arch::PlatformSpec& platform, int ppc, int procs,
+                            bool hybrid);
+
+/// Convenience: the paper's largest comparable concurrency for the Table 7
+/// summary row of each application on each platform.
+struct SummaryEntry {
+  std::string app;
+  double es_speedup_model = 0.0;
+  double es_speedup_paper = 0.0;
+};
+
+}  // namespace vpar::bench

@@ -1,0 +1,64 @@
+// Regenerates paper Figure 9: sustained performance (percent of peak) at
+// 64 processors on the largest comparable problem size, as a text bar chart
+// (Power4 Cactus uses P=16, as in the paper).
+
+#include <iostream>
+
+#include "report.hpp"
+
+namespace {
+
+std::string bar(double fraction, double scale = 80.0) {
+  const int len = static_cast<int>(fraction * scale);
+  return std::string(static_cast<std::size_t>(std::max(0, len)), '#');
+}
+
+}  // namespace
+
+int main() {
+  using namespace vpar;
+  using namespace vpar::bench;
+
+  print_header("Figure 9: sustained performance at P = 64 (percent of peak)");
+
+  const char* platforms[] = {"Power3", "Power4", "Altix", "ES", "X1"};
+  struct AppEval {
+    const char* name;
+    Cell (*eval)(const arch::PlatformSpec&);
+  };
+  const AppEval apps[] = {
+      {"LBMHD",
+       [](const arch::PlatformSpec& p) { return lbmhd_cell(p, 8192, 64, false); }},
+      {"PARATEC",
+       [](const arch::PlatformSpec& p) {
+         // Largest *comparable* size: the superscalars only ran 432 atoms.
+         return paratec_cell(p, p.is_vector ? 686 : 432, 64);
+       }},
+      {"CACTUS",
+       [](const arch::PlatformSpec& p) {
+         // The paper plots P=16 for the Power4 on Cactus.
+         return cactus_cell(p, true, p.name == "Power4" ? 16 : 64);
+       }},
+      {"GTC",
+       [](const arch::PlatformSpec& p) { return gtc_cell(p, 100, 64, false); }},
+  };
+
+  for (const auto& app : apps) {
+    std::cout << app.name << ":\n";
+    for (const char* name : platforms) {
+      const auto cell = app.eval(arch::platform_by_name(name));
+      std::cout << "  " << name << std::string(8 - std::string(name).size(), ' ')
+                << core::fmt_pct(cell.prediction.pct_peak);
+      if (cell.paper_gflops.has_value()) {
+        const double paper_pct =
+            *cell.paper_gflops / arch::platform_by_name(name).peak_gflops;
+        std::cout << " [paper " << core::fmt_pct(paper_pct) << "]";
+      } else {
+        std::cout << " [paper --  ]";
+      }
+      std::cout << "  " << bar(cell.prediction.pct_peak) << '\n';
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}

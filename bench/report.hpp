@@ -1,0 +1,30 @@
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "cells.hpp"
+#include "core/table.hpp"
+
+namespace vpar::bench {
+
+/// "4.31 (54%)" — the model's prediction for one cell.
+inline std::string model_text(const Cell& cell) {
+  if (cell.prediction.seconds <= 0.0) return "--";
+  return core::fmt_gflops(cell.prediction.gflops_per_proc) + " (" +
+         core::fmt_pct(cell.prediction.pct_peak) + ")";
+}
+
+/// The paper's measured Gflops/P, or "--" where the paper has no entry.
+inline std::string paper_text(const Cell& cell) {
+  if (!cell.paper_gflops.has_value()) return "--";
+  return core::fmt_gflops(*cell.paper_gflops);
+}
+
+inline void print_header(const std::string& title) {
+  std::cout << "\n== " << title << " ==\n"
+            << "model: Gflops/P (% of peak); [paper]: measured Gflops/P from "
+               "the original study\n\n";
+}
+
+}  // namespace vpar::bench

@@ -1,0 +1,89 @@
+// Scaling curves: model-predicted Gflops/P versus concurrency for every
+// application on every platform — the data behind the paper's scalability
+// narrative (PARATEC's FFT-transpose decline, Cactus's flat weak scaling,
+// LBMHD's vector-length effects).
+
+#include <iostream>
+
+#include "report.hpp"
+
+int main() {
+  using namespace vpar;
+  using namespace vpar::bench;
+
+  std::cout << "\n== Scaling curves: model Gflops/P vs P ==\n";
+
+  const char* platforms[] = {"Power3", "Power4", "Altix", "ES", "X1"};
+
+  std::cout << "\nLBMHD, 8192^2 (strong scaling):\n";
+  {
+    core::Table t({"P", "Power3", "Power4", "Altix", "ES", "X1"});
+    for (int p : {16, 64, 256, 1024, 4096}) {
+      std::vector<std::string> row = {std::to_string(p)};
+      for (const char* name : platforms) {
+        row.push_back(core::fmt_gflops(
+            lbmhd_cell(arch::platform_by_name(name), 8192, p, false)
+                .prediction.gflops_per_proc));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\nPARATEC, 686 atoms (strong scaling):\n";
+  {
+    core::Table t({"P", "Power3", "Power4", "Altix", "ES", "X1"});
+    for (int p : {32, 64, 128, 256, 512, 1024, 2048}) {
+      std::vector<std::string> row = {std::to_string(p)};
+      for (const char* name : platforms) {
+        row.push_back(core::fmt_gflops(
+            paratec_cell(arch::platform_by_name(name), 686, p)
+                .prediction.gflops_per_proc));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\nCactus, 250x64x64 per processor (weak scaling):\n";
+  {
+    core::Table t({"P", "Power3", "Power4", "Altix", "ES", "X1"});
+    for (int p : {16, 64, 256, 1024, 4096}) {
+      std::vector<std::string> row = {std::to_string(p)};
+      for (const char* name : platforms) {
+        row.push_back(core::fmt_gflops(
+            cactus_cell(arch::platform_by_name(name), true, p)
+                .prediction.gflops_per_proc));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\nGTC, 100 particles/cell (MPI to the 64-domain cap, then "
+               "hybrid):\n";
+  {
+    core::Table t({"P", "Power3", "Power4", "Altix", "ES", "X1"});
+    for (int p : {16, 32, 64}) {
+      std::vector<std::string> row = {std::to_string(p)};
+      for (const char* name : platforms) {
+        row.push_back(core::fmt_gflops(
+            gtc_cell(arch::platform_by_name(name), 100, p, false)
+                .prediction.gflops_per_proc));
+      }
+      t.add_row(std::move(row));
+    }
+    for (int p : {256, 1024}) {
+      std::vector<std::string> row = {std::to_string(p) + "*"};
+      for (const char* name : platforms) {
+        row.push_back(core::fmt_gflops(
+            gtc_cell(arch::platform_by_name(name), 100, p, true)
+                .prediction.gflops_per_proc));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+    std::cout << "(* hybrid MPI/OpenMP beyond the 64 toroidal domains)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Regenerates paper Table 1: architectural highlights of the five systems.
+
+#include <iostream>
+
+#include "arch/platform.hpp"
+#include "core/table.hpp"
+
+int main() {
+  using namespace vpar;
+  std::cout << "\n== Table 1: Architectural highlights ==\n\n";
+  core::Table table({"Platform", "CPU/Node", "Clock(MHz)", "Peak(GF/s)",
+                     "MemBW(GB/s)", "Peak(B/flop)", "MPI Lat(us)",
+                     "NetBW(GB/s/CPU)", "Bisect(B/s/flop)", "Topology"});
+  for (const auto& p : arch::all_platforms()) {
+    table.add_row({p.name, std::to_string(p.cpus_per_node),
+                   core::fmt_fixed(p.clock_mhz, 0), core::fmt_fixed(p.peak_gflops, 1),
+                   core::fmt_fixed(p.mem_bw_gbs, 1),
+                   core::fmt_fixed(p.peak_bytes_per_flop, 2),
+                   core::fmt_fixed(p.mpi_latency_us, 1),
+                   core::fmt_fixed(p.net_bw_gbs, 2),
+                   core::fmt_fixed(p.bisection_bytes_per_flop, 4),
+                   arch::to_string(p.topology)});
+  }
+  table.print(std::cout);
+  std::cout << "\nVector execution parameters:\n";
+  core::Table vec({"Platform", "VL", "Scalar(GF/s)", "Serialized(GF/s)",
+                   "CAF latency(us)"});
+  for (const auto& p : arch::all_platforms()) {
+    if (!p.is_vector) continue;
+    vec.add_row({p.name, std::to_string(p.vector_length),
+                 core::fmt_fixed(p.scalar_gflops, 1),
+                 core::fmt_fixed(p.serialized_gflops, 1),
+                 p.supports_caf ? core::fmt_fixed(p.oneside_latency_us, 1) : "--"});
+  }
+  vec.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Regenerates paper Table 2: overview of the scientific applications.
+
+#include <iostream>
+
+#include "core/app_registry.hpp"
+#include "core/table.hpp"
+
+int main() {
+  using namespace vpar;
+  std::cout << "\n== Table 2: Scientific applications ==\n\n";
+  core::Table table({"Name", "Lines", "Discipline", "Methods", "Structure"});
+  for (const auto& app : core::application_registry()) {
+    table.add_row({app.name, std::to_string(app.lines), app.discipline,
+                   app.methods, app.structure});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Regenerates paper Table 3: LBMHD per-processor performance on the
+// 4096^2 and 8192^2 grids, including the X1 CAF port column.
+
+#include <iostream>
+
+#include "report.hpp"
+
+int main() {
+  using namespace vpar;
+  using namespace vpar::bench;
+
+  print_header("Table 3: LBMHD per-processor performance");
+  core::Table table({"Grid", "P", "Power3", "[paper]", "Power4", "[paper]", "Altix",
+                     "[paper]", "ES", "[paper]", "X1(MPI)", "[paper]", "X1(CAF)",
+                     "[paper]"});
+
+  struct Row {
+    std::size_t grid;
+    int procs;
+  };
+  const Row rows[] = {{4096, 16}, {4096, 64}, {4096, 256},
+                      {8192, 64}, {8192, 256}, {8192, 1024}};
+
+  for (const auto& row : rows) {
+    std::vector<std::string> cells = {std::to_string(row.grid) + "^2",
+                                      std::to_string(row.procs)};
+    for (const char* name : {"Power3", "Power4", "Altix", "ES", "X1"}) {
+      const auto cell = lbmhd_cell(arch::platform_by_name(name), row.grid,
+                                   row.procs, /*caf=*/false);
+      cells.push_back(model_text(cell));
+      cells.push_back(paper_text(cell));
+    }
+    const auto caf = lbmhd_cell(arch::x1(), row.grid, row.procs, /*caf=*/true);
+    cells.push_back(model_text(caf));
+    cells.push_back(paper_text(caf));
+    table.add_row(std::move(cells));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nVector statistics (model), largest grid at P=64:\n";
+  core::Table vec({"Platform", "AVL", "VOR"});
+  for (const char* name : {"ES", "X1"}) {
+    const auto cell = lbmhd_cell(arch::platform_by_name(name), 8192, 64, false);
+    vec.add_row({name, core::fmt_fixed(cell.prediction.avl, 0),
+                 core::fmt_pct(cell.prediction.vor)});
+  }
+  vec.print(std::cout);
+  return 0;
+}

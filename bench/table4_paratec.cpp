@@ -1,0 +1,42 @@
+// Regenerates paper Table 4: PARATEC per-processor performance on the 432-
+// and 686-atom silicon bulk systems (3 CG steps, 25 Ry).
+
+#include <iostream>
+
+#include "report.hpp"
+
+int main() {
+  using namespace vpar;
+  using namespace vpar::bench;
+
+  print_header("Table 4: PARATEC per-processor performance");
+
+  for (int atoms : {432, 686}) {
+    std::cout << "-- " << atoms << "-atom Si bulk --\n";
+    core::Table table({"P", "Power3", "[paper]", "Power4", "[paper]", "Altix",
+                       "[paper]", "ES", "[paper]", "X1", "[paper]"});
+    for (int procs : {32, 64, 128, 256, 512, 1024}) {
+      if (atoms == 686 && procs == 32) continue;  // paper starts at 64
+      std::vector<std::string> cells = {std::to_string(procs)};
+      for (const char* name : {"Power3", "Power4", "Altix", "ES", "X1"}) {
+        const auto cell = paratec_cell(arch::platform_by_name(name), atoms, procs);
+        cells.push_back(model_text(cell));
+        cells.push_back(paper_text(cell));
+      }
+      table.add_row(std::move(cells));
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "Vector statistics (model), 432 atoms at P=32 "
+               "(paper: AVL 145 ES / 46 X1 for the full run incl. set-up):\n";
+  core::Table vec({"Platform", "AVL", "VOR"});
+  for (const char* name : {"ES", "X1"}) {
+    const auto cell = paratec_cell(arch::platform_by_name(name), 432, 32);
+    vec.add_row({name, core::fmt_fixed(cell.prediction.avl, 0),
+                 core::fmt_pct(cell.prediction.vor)});
+  }
+  vec.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Regenerates paper Table 5: Cactus per-processor performance, weak scaling
+// with 80^3 and 250x64x64 grids per processor.
+
+#include <iostream>
+
+#include "report.hpp"
+
+int main() {
+  using namespace vpar;
+  using namespace vpar::bench;
+
+  print_header("Table 5: Cactus per-processor performance (weak scaling)");
+
+  for (bool large : {false, true}) {
+    std::cout << "-- " << (large ? "250x64x64" : "80x80x80")
+              << " grid per processor --\n";
+    core::Table table({"P", "Power3", "[paper]", "Power4", "[paper]", "Altix",
+                       "[paper]", "ES", "[paper]", "X1", "[paper]"});
+    for (int procs : {16, 64, 256, 1024}) {
+      std::vector<std::string> cells = {std::to_string(procs)};
+      for (const char* name : {"Power3", "Power4", "Altix", "ES", "X1"}) {
+        const auto cell = cactus_cell(arch::platform_by_name(name), large, procs);
+        cells.push_back(model_text(cell));
+        cells.push_back(paper_text(cell));
+      }
+      table.add_row(std::move(cells));
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "Vector statistics (model; paper: AVL 92 vs 248, VOR > 99%):\n";
+  core::Table vec({"Platform", "Grid/proc", "AVL", "VOR"});
+  for (const char* name : {"ES", "X1"}) {
+    for (bool large : {false, true}) {
+      const auto cell = cactus_cell(arch::platform_by_name(name), large, 64);
+      vec.add_row({name, large ? "250x64x64" : "80^3",
+                   core::fmt_fixed(cell.prediction.avl, 0),
+                   core::fmt_pct(cell.prediction.vor)});
+    }
+  }
+  vec.print(std::cout);
+
+  std::cout << "\nBoundary-condition share of runtime (model; paper: up to 20% "
+               "on the ES, over 30% on the X1 before vectorization):\n";
+  core::Table bc({"Platform", "Variant", "boundary share"});
+  for (const char* name : {"ES", "X1"}) {
+    const auto cell = cactus_cell(arch::platform_by_name(name), false, 64);
+    const auto& rs = cell.prediction.region_seconds;
+    double total = 0.0;
+    for (const auto& [region, t] : rs) total += t;
+    const double share = rs.count("boundary") ? rs.at("boundary") / total : 0.0;
+    bc.add_row({name, name == std::string("X1") ? "vectorized" : "scalar",
+                core::fmt_pct(share)});
+  }
+  bc.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Regenerates paper Table 6: GTC per-processor performance at 10 and 100
+// particles per cell, including the hybrid MPI/OpenMP Power3 row.
+
+#include <iostream>
+
+#include "report.hpp"
+
+int main() {
+  using namespace vpar;
+  using namespace vpar::bench;
+
+  print_header("Table 6: GTC per-processor performance");
+  core::Table table({"Part/Cell", "Code", "P", "Power3", "[paper]", "Power4",
+                     "[paper]", "Altix", "[paper]", "ES", "[paper]", "X1",
+                     "[paper]"});
+
+  for (int ppc : {10, 100}) {
+    for (int procs : {32, 64}) {
+      std::vector<std::string> cells = {std::to_string(ppc), "MPI",
+                                        std::to_string(procs)};
+      for (const char* name : {"Power3", "Power4", "Altix", "ES", "X1"}) {
+        const auto cell =
+            gtc_cell(arch::platform_by_name(name), ppc, procs, /*hybrid=*/false);
+        cells.push_back(model_text(cell));
+        cells.push_back(paper_text(cell));
+      }
+      table.add_row(std::move(cells));
+    }
+  }
+  // Hybrid row: 1024-way MPI/OpenMP, Power3 only in the paper.
+  {
+    std::vector<std::string> cells = {"100", "Hybrid", "1024"};
+    const auto cell = gtc_cell(arch::power3(), 100, 1024, /*hybrid=*/true);
+    cells.push_back(model_text(cell));
+    cells.push_back(paper_text(cell));
+    for (int i = 0; i < 8; ++i) cells.push_back("--");
+    table.add_row(std::move(cells));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nVector statistics (model), 100 part/cell at P=32 "
+               "(paper: AVL 228/62, VOR 99%/97%):\n";
+  core::Table vec({"Platform", "AVL", "VOR"});
+  for (const char* name : {"ES", "X1"}) {
+    const auto cell = gtc_cell(arch::platform_by_name(name), 100, 32, false);
+    vec.add_row({name, core::fmt_fixed(cell.prediction.avl, 0),
+                 core::fmt_pct(cell.prediction.vor)});
+  }
+  vec.print(std::cout);
+
+  std::cout << "\nShift-routine share of runtime (model; paper: 54% on the X1 "
+               "before the two-pass rewrite, 11% on the ES, 4% after):\n";
+  core::Table sh({"Platform", "Variant", "shift share"});
+  for (const char* name : {"ES", "X1"}) {
+    const auto cell = gtc_cell(arch::platform_by_name(name), 100, 32, false);
+    const auto& rs = cell.prediction.region_seconds;
+    double total = 0.0;
+    for (const auto& [region, t] : rs) total += t;
+    const double share = rs.count("shift") ? rs.at("shift") / total : 0.0;
+    sh.add_row({name, name == std::string("X1") ? "two-pass" : "nested-if",
+                core::fmt_pct(share)});
+  }
+  sh.print(std::cout);
+  return 0;
+}

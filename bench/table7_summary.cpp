@@ -1,0 +1,109 @@
+// Regenerates paper Table 7: ES speedup over each platform at the largest
+// comparable processor count and problem size.
+
+#include <iostream>
+#include <map>
+
+#include "report.hpp"
+
+namespace {
+
+using vpar::bench::Cell;
+
+double speedup(const Cell& es, const Cell& other) {
+  if (other.prediction.gflops_per_proc <= 0.0) return 0.0;
+  return es.prediction.gflops_per_proc / other.prediction.gflops_per_proc;
+}
+
+}  // namespace
+
+int main() {
+  using namespace vpar;
+  using namespace vpar::bench;
+
+  print_header("Table 7: ES speedup vs each platform (largest comparable run)");
+
+  // (platform -> (ES cell, platform cell)) per application, at the paper's
+  // largest comparable configurations.
+  struct AppRow {
+    std::string name;
+    std::map<std::string, std::pair<Cell, Cell>> cells;
+    std::map<std::string, double> paper;
+  };
+  std::vector<AppRow> rows;
+
+  {
+    AppRow r{"LBMHD", {}, {{"Power3", 30.6}, {"Power4", 15.3}, {"Altix", 7.2},
+                           {"X1", 1.5}}};
+    r.cells["Power3"] = {lbmhd_cell(arch::earth_simulator(), 8192, 1024, false),
+                         lbmhd_cell(arch::power3(), 8192, 1024, false)};
+    r.cells["Power4"] = {lbmhd_cell(arch::earth_simulator(), 8192, 256, false),
+                         lbmhd_cell(arch::power4(), 8192, 256, false)};
+    r.cells["Altix"] = {lbmhd_cell(arch::earth_simulator(), 8192, 64, false),
+                        lbmhd_cell(arch::altix(), 8192, 64, false)};
+    r.cells["X1"] = {lbmhd_cell(arch::earth_simulator(), 8192, 256, false),
+                     lbmhd_cell(arch::x1(), 8192, 256, false)};
+    rows.push_back(std::move(r));
+  }
+  {
+    AppRow r{"PARATEC", {}, {{"Power3", 8.2}, {"Power4", 3.9}, {"Altix", 1.4},
+                             {"X1", 3.9}}};
+    r.cells["Power3"] = {paratec_cell(arch::earth_simulator(), 432, 512),
+                         paratec_cell(arch::power3(), 432, 512)};
+    r.cells["Power4"] = {paratec_cell(arch::earth_simulator(), 432, 256),
+                         paratec_cell(arch::power4(), 432, 256)};
+    r.cells["Altix"] = {paratec_cell(arch::earth_simulator(), 432, 64),
+                        paratec_cell(arch::altix(), 432, 64)};
+    r.cells["X1"] = {paratec_cell(arch::earth_simulator(), 686, 256),
+                     paratec_cell(arch::x1(), 686, 256)};
+    rows.push_back(std::move(r));
+  }
+  {
+    AppRow r{"CACTUS", {}, {{"Power3", 45.0}, {"Power4", 5.1}, {"Altix", 6.4},
+                            {"X1", 4.0}}};
+    r.cells["Power3"] = {cactus_cell(arch::earth_simulator(), true, 1024),
+                         cactus_cell(arch::power3(), true, 1024)};
+    r.cells["Power4"] = {cactus_cell(arch::earth_simulator(), true, 16),
+                         cactus_cell(arch::power4(), true, 16)};
+    r.cells["Altix"] = {cactus_cell(arch::earth_simulator(), true, 64),
+                        cactus_cell(arch::altix(), true, 64)};
+    r.cells["X1"] = {cactus_cell(arch::earth_simulator(), true, 256),
+                     cactus_cell(arch::x1(), true, 256)};
+    rows.push_back(std::move(r));
+  }
+  {
+    AppRow r{"GTC", {}, {{"Power3", 9.4}, {"Power4", 4.3}, {"Altix", 4.1},
+                         {"X1", 0.9}}};
+    for (const char* name : {"Power3", "Power4", "Altix", "X1"}) {
+      r.cells[name] = {gtc_cell(arch::earth_simulator(), 100, 64, false),
+                       gtc_cell(arch::platform_by_name(name), 100, 64, false)};
+    }
+    rows.push_back(std::move(r));
+  }
+
+  core::Table table({"Name", "vs Power3", "[paper]", "vs Power4", "[paper]",
+                     "vs Altix", "[paper]", "vs X1", "[paper]"});
+  std::map<std::string, double> sum_model, sum_paper;
+  for (const auto& row : rows) {
+    std::vector<std::string> cells = {row.name};
+    for (const char* name : {"Power3", "Power4", "Altix", "X1"}) {
+      const auto& [es, other] = row.cells.at(name);
+      const double s = speedup(es, other);
+      cells.push_back(core::fmt_fixed(s, 1));
+      cells.push_back(core::fmt_fixed(row.paper.at(name), 1));
+      sum_model[name] += s;
+      sum_paper[name] += row.paper.at(name);
+    }
+    table.add_row(std::move(cells));
+  }
+  {
+    std::vector<std::string> cells = {"Average"};
+    for (const char* name : {"Power3", "Power4", "Altix", "X1"}) {
+      cells.push_back(core::fmt_fixed(sum_model[name] / 4.0, 1));
+      cells.push_back(core::fmt_fixed(sum_paper[name] / 4.0, 1));
+    }
+    table.add_row(std::move(cells));
+  }
+  table.print(std::cout);
+  return 0;
+}

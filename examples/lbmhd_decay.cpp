@@ -1,0 +1,75 @@
+// Reproduces the physics of paper Figure 1: two cross-shaped current
+// structures decaying into current sheets under resistive MHD, simulated
+// with the lattice-Boltzmann solver. Writes the current density J_z as a
+// portable graymap (PGM) at several times and prints the energy decay.
+//
+// Usage: lbmhd_decay [steps] [output-prefix]
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lbmhd/simulation.hpp"
+#include "simrt/runtime.hpp"
+
+namespace {
+
+void write_pgm(const std::string& path, const std::vector<double>& field,
+               std::size_t nx, std::size_t ny) {
+  double lo = 1e300, hi = -1e300;
+  for (double v : field) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = hi > lo ? hi - lo : 1.0;
+  std::ofstream out(path, std::ios::binary);
+  out << "P5\n" << nx << " " << ny << "\n255\n";
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      const double v = (field[j * nx + i] - lo) / span;
+      out.put(static_cast<char>(std::lround(v * 255.0)));
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vpar;
+  const int total_steps = argc > 1 ? std::atoi(argv[1]) : 400;
+  const std::string prefix = argc > 2 ? argv[2] : "lbmhd_jz";
+
+  simrt::run(4, [&](simrt::Communicator& comm) {
+    lbmhd::Options opt;
+    opt.nx = opt.ny = 256;
+    opt.px = opt.py = 2;
+    opt.tau_f = 0.6;
+    opt.tau_g = 0.8;  // finite resistivity: current sheets diffuse
+    lbmhd::Simulation sim(comm, opt);
+    sim.initialize(lbmhd::crossed_structures_ic(0.08));
+
+    const int snapshots = 4;
+    for (int snap = 0; snap <= snapshots; ++snap) {
+      if (snap > 0) sim.run(total_steps / snapshots);
+      const auto jz = sim.gather(lbmhd::Simulation::Field::CurrentZ);
+      const auto d = sim.diagnostics();
+      if (comm.rank() == 0) {
+        double jmax = 0.0;
+        for (double v : jz) jmax = std::max(jmax, std::abs(v));
+        const std::string path =
+            prefix + "_t" + std::to_string(snap * total_steps / snapshots) + ".pgm";
+        write_pgm(path, jz, opt.nx, opt.ny);
+        std::printf(
+            "step %4d: |J|max = %.5f  KE = %.6e  ME = %.6e  -> %s\n",
+            snap * total_steps / snapshots, jmax, d.kinetic_energy,
+            d.magnetic_energy, path.c_str());
+      }
+    }
+  });
+  std::printf("\nThe PGM frames show the crosses decaying into current "
+              "sheets (paper Figure 1).\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+#include "arch/cpu_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vpar::arch {
+
+namespace {
+
+constexpr double kGiga = 1.0e9;
+
+/// Fraction of a vector machine's memory bandwidth achievable per pattern,
+/// relative to its unit-stride fraction. Strided access loses partial memory
+/// banks; gather/scatter runs the address pipes at well under stream rate.
+double vector_pattern_factor(perf::AccessPattern access) {
+  switch (access) {
+    case perf::AccessPattern::Stream: return 1.0;
+    case perf::AccessPattern::Strided: return 0.60;
+    case perf::AccessPattern::Gather: return 0.25;
+    case perf::AccessPattern::Cached: return 1.0;  // vector units are cacheless
+  }
+  return 1.0;
+}
+
+/// Same derating for cache-based superscalar CPUs. Gather defeats both the
+/// prefetch engines and cache lines (one useful word per line).
+double superscalar_pattern_factor(perf::AccessPattern access) {
+  switch (access) {
+    case perf::AccessPattern::Stream: return 1.0;
+    case perf::AccessPattern::Strided: return 0.50;
+    case perf::AccessPattern::Gather: return 0.15;
+    case perf::AccessPattern::Cached: return 1.0;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+double CpuModel::loop_seconds(const perf::LoopRecord& rec) const {
+  if (rec.total_flops() <= 0.0 && rec.total_bytes() <= 0.0) return 0.0;
+  return spec_->is_vector ? vector_loop_seconds(rec) : superscalar_loop_seconds(rec);
+}
+
+double CpuModel::vector_loop_seconds(const perf::LoopRecord& rec) const {
+  const double flops = rec.total_flops();
+  const double bytes = rec.total_bytes();
+
+  if (!rec.vectorizable) {
+    // Scalar support unit, derated for branchy sustained performance;
+    // Amdahl's law does the rest at the profile level.
+    return flops / (spec_->serialized_gflops * spec_->scalar_eff * kGiga);
+  }
+
+  const double vl = static_cast<double>(spec_->vector_length);
+  const double strips = std::max(1.0, std::ceil(rec.trips / vl));
+  const double avg_strip = rec.trips > 0.0 ? rec.trips / strips : 1.0;
+  const double rate = spec_->peak_gflops * spec_->vector_compute_eff *
+                      rec.compute_derate * avg_strip /
+                      (avg_strip + spec_->vector_n_half);
+  const double t_compute = flops / (rate * kGiga);
+
+  double bw = spec_->mem_bw_gbs * spec_->vector_stream_eff *
+              vector_pattern_factor(rec.access);
+  // The X1's 2MB Ecache gives vector loops with temporal locality bandwidth
+  // beyond memory (25-51 GB/s); the ES has no vector cache.
+  if (rec.access == perf::AccessPattern::Cached && spec_->supports_caf) {
+    bw *= 1.3;
+  }
+  const double t_mem = bytes / (bw * kGiga);
+  return std::max(t_compute, t_mem);
+}
+
+double CpuModel::superscalar_loop_seconds(const perf::LoopRecord& rec) const {
+  const double flops = rec.total_flops();
+  const double bytes = rec.total_bytes();
+
+  double compute_eff = spec_->compute_efficiency;
+  if (rec.access == perf::AccessPattern::Gather) {
+    // Indexed updates serialize on load-use latency even when the data is
+    // cache-resident; PIC scatter/gather sustains ~1/7 of dense-kernel rate
+    // on cache CPUs (GTC's 5-9% of peak across all three superscalars).
+    compute_eff *= 0.15;
+  }
+  const double t_compute =
+      flops / (spec_->peak_gflops * compute_eff * rec.compute_derate * kGiga);
+
+  const double cache_bytes = spec_->cache_mb * 1024.0 * 1024.0;
+  const bool cache_resident =
+      rec.access == perf::AccessPattern::Cached ||
+      (rec.working_set_bytes > 0.0 && rec.working_set_bytes <= cache_bytes);
+  // Cache-resident loops stream from SRAM at the cache's own bandwidth;
+  // the STREAM derating only applies to DRAM traffic.
+  const double bw = cache_resident
+                        ? spec_->mem_bw_gbs * spec_->cache_bw_multiplier
+                        : spec_->mem_bw_gbs * spec_->stream_bw_eff *
+                              superscalar_pattern_factor(rec.access);
+  const double t_mem = bytes / (bw * kGiga);
+  return std::max(t_compute, t_mem);
+}
+
+double CpuModel::profile_seconds(const perf::KernelProfile& profile) const {
+  double total = 0.0;
+  for (const auto& [region, records] : profile.regions()) {
+    for (const auto& rec : records) total += loop_seconds(rec);
+  }
+  return total;
+}
+
+std::map<std::string, double> CpuModel::region_seconds(
+    const perf::KernelProfile& profile) const {
+  std::map<std::string, double> out;
+  for (const auto& [region, records] : profile.regions()) {
+    double t = 0.0;
+    for (const auto& rec : records) t += loop_seconds(rec);
+    out[region] = t;
+  }
+  return out;
+}
+
+}  // namespace vpar::arch

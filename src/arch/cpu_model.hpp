@@ -1,0 +1,53 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "arch/platform.hpp"
+#include "perf/kernel_profile.hpp"
+#include "perf/loop_record.hpp"
+
+namespace vpar::arch {
+
+/// Single-processor execution-time model. Converts machine-independent
+/// LoopRecords (what the application did) into predicted seconds on one CPU
+/// of the given platform.
+///
+/// Vector platforms: vectorizable loops run at a Hockney-style rate
+///   peak * compute_eff * l / (l + n_half)
+/// where l is the average strip length after strip-mining to the hardware
+/// vector length, bounded by pattern-derated memory bandwidth (vector units
+/// are cacheless streamers). Non-vectorizable loops fall onto the scalar
+/// unit — 1/8 of peak on the ES, effectively 1/32 of MSP peak on the X1
+/// because a serialized loop inside multistreamed code keeps only one of the
+/// four SSP scalar cores busy. This asymmetry is the paper's central
+/// "architectural balance" observation.
+///
+/// Superscalar platforms: roofline between compute capability
+/// (peak * compute_efficiency) and pattern-derated memory bandwidth, with
+/// promotion to cache bandwidth when a loop's declared working set fits in
+/// the last-level cache (the "smaller subdomain, better cache reuse" effect).
+class CpuModel {
+ public:
+  explicit CpuModel(const PlatformSpec& spec) : spec_(&spec) {}
+
+  /// Predicted seconds for one loop record on one CPU.
+  [[nodiscard]] double loop_seconds(const perf::LoopRecord& rec) const;
+
+  /// Predicted seconds for a whole per-rank kernel profile.
+  [[nodiscard]] double profile_seconds(const perf::KernelProfile& profile) const;
+
+  /// Per-region breakdown (seconds by region name).
+  [[nodiscard]] std::map<std::string, double> region_seconds(
+      const perf::KernelProfile& profile) const;
+
+  [[nodiscard]] const PlatformSpec& spec() const { return *spec_; }
+
+ private:
+  [[nodiscard]] double vector_loop_seconds(const perf::LoopRecord& rec) const;
+  [[nodiscard]] double superscalar_loop_seconds(const perf::LoopRecord& rec) const;
+
+  const PlatformSpec* spec_;
+};
+
+}  // namespace vpar::arch

@@ -1,0 +1,27 @@
+#include "arch/machine_model.hpp"
+
+namespace vpar::arch {
+
+Prediction MachineModel::predict(const AppProfile& app) const {
+  Prediction p;
+  p.platform = spec_->name;
+  p.compute_seconds = cpu_.profile_seconds(app.kernels);
+  p.comm_seconds = net_.seconds(app.comm, app.procs);
+  p.seconds = p.compute_seconds + p.comm_seconds;
+  p.region_seconds = cpu_.region_seconds(app.kernels);
+
+  if (p.seconds > 0.0 && app.procs > 0) {
+    p.gflops_per_proc =
+        app.baseline_flops / p.seconds / static_cast<double>(app.procs) / 1.0e9;
+    p.pct_peak = p.gflops_per_proc / spec_->peak_gflops;
+  }
+
+  if (spec_->is_vector) {
+    const auto stats = perf::compute_vector_stats(app.kernels, spec_->vector_length);
+    p.vor = stats.vor;
+    p.avl = stats.avl;
+  }
+  return p;
+}
+
+}  // namespace vpar::arch

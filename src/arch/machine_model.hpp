@@ -1,0 +1,57 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "arch/cpu_model.hpp"
+#include "arch/network_model.hpp"
+#include "arch/platform.hpp"
+#include "perf/comm_profile.hpp"
+#include "perf/kernel_profile.hpp"
+
+namespace vpar::arch {
+
+/// What one application run looks like to a machine model: the
+/// (machine-independent) per-rank work and communication, plus the valid
+/// baseline flop count the paper divides by wall-clock time. The baseline may
+/// be smaller than the profile's flops when a port does extra work (e.g.
+/// GTC's work-vector deposition) — exactly the paper's accounting rule.
+struct AppProfile {
+  perf::KernelProfile kernels;  ///< one representative (critical-path) rank
+  perf::CommProfile comm;       ///< same rank's communication
+  double baseline_flops = 0.0;  ///< total across ALL ranks
+  int procs = 1;
+};
+
+/// Paper-style result for one (application, platform, concurrency) cell.
+struct Prediction {
+  std::string platform;
+  double seconds = 0.0;           ///< predicted wall-clock
+  double compute_seconds = 0.0;
+  double comm_seconds = 0.0;
+  double gflops_per_proc = 0.0;   ///< baseline flops / time / P
+  double pct_peak = 0.0;          ///< gflops_per_proc / platform peak
+  double vor = 0.0;               ///< vector platforms only, else 0
+  double avl = 0.0;               ///< vector platforms only, else 0
+  std::map<std::string, double> region_seconds;
+};
+
+/// Front-end combining the CPU and network models for one platform.
+class MachineModel {
+ public:
+  explicit MachineModel(const PlatformSpec& spec)
+      : spec_(&spec), cpu_(spec), net_(spec) {}
+
+  [[nodiscard]] Prediction predict(const AppProfile& app) const;
+
+  [[nodiscard]] const PlatformSpec& spec() const { return *spec_; }
+  [[nodiscard]] const CpuModel& cpu() const { return cpu_; }
+  [[nodiscard]] const NetworkModel& network() const { return net_; }
+
+ private:
+  const PlatformSpec* spec_;
+  CpuModel cpu_;
+  NetworkModel net_;
+};
+
+}  // namespace vpar::arch

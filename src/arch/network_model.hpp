@@ -1,0 +1,33 @@
+#pragma once
+
+#include "arch/platform.hpp"
+#include "perf/comm_profile.hpp"
+
+namespace vpar::arch {
+
+/// Interconnect time model. Converts a per-rank CommProfile into predicted
+/// communication seconds on `procs` processors of the platform.
+///
+/// Point-to-point and one-sided traffic pay per-message latency plus
+/// per-CPU link bandwidth. All-to-all traffic (the 3D-FFT transpose) is
+/// additionally bounded by the machine's bisection: the ES crossbar and the
+/// fat-trees keep bisection-per-flop constant as the machine grows, while the
+/// X1's 2D torus bisection grows only as sqrt(P) — the effect behind the
+/// X1's PARATEC scalability collapse above 128 processors in the paper.
+class NetworkModel {
+ public:
+  explicit NetworkModel(const PlatformSpec& spec) : spec_(&spec) {}
+
+  /// Predicted communication seconds for one rank's profile at `procs` ranks.
+  [[nodiscard]] double seconds(const perf::CommProfile& per_rank, int procs) const;
+
+  /// Aggregate bisection bandwidth (GB/s) of a `procs`-processor machine.
+  [[nodiscard]] double bisection_gbs_total(int procs) const;
+
+  [[nodiscard]] const PlatformSpec& spec() const { return *spec_; }
+
+ private:
+  const PlatformSpec* spec_;
+};
+
+}  // namespace vpar::arch

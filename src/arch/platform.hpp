@@ -1,0 +1,82 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vpar::arch {
+
+/// Interconnect topologies of the five studied systems (paper Table 1).
+enum class Topology {
+  FatTree,   ///< Power3 (Colony omega), Power4 (Federation), Altix (NUMAlink3)
+  Crossbar,  ///< Earth Simulator single-stage crossbar
+  Torus2D,   ///< Cray X1 modified 2D torus — bisection shrinks per-CPU with P
+};
+
+/// Architectural description of one platform. The first block is the paper's
+/// Table 1 verbatim; the second block holds microarchitectural parameters
+/// from Section 2 plus calibration constants documented next to the values in
+/// platform.cpp.
+struct PlatformSpec {
+  std::string name;
+  bool is_vector = false;
+
+  // --- Table 1 -------------------------------------------------------------
+  int cpus_per_node = 1;
+  double clock_mhz = 0.0;
+  double peak_gflops = 0.0;               ///< per CPU
+  double mem_bw_gbs = 0.0;                ///< per CPU
+  double peak_bytes_per_flop = 0.0;       ///< memory balance (Table 1 column)
+  double mpi_latency_us = 0.0;
+  double net_bw_gbs = 0.0;                ///< point-to-point, per CPU
+  double bisection_bytes_per_flop = 0.0;  ///< at the reference configuration
+  int bisection_reference_procs = 0;      ///< X1 ratio quoted at 2048 MSPs
+  double collective_eff = 1.0;  ///< achieved fraction of theoretical all-to-all
+                                ///< bandwidth (early X1 MPI collectives were
+                                ///< far from line rate; see the ORNL X1
+                                ///< evaluations the paper cites)
+  Topology topology = Topology::FatTree;
+
+  // --- vector execution (ES, X1) -------------------------------------------
+  unsigned vector_length = 0;       ///< hardware max VL (256 ES, 64 X1)
+  double scalar_gflops = 0.0;       ///< scalar-unit rate on unvectorized code
+  double serialized_gflops = 0.0;   ///< rate when serialized inside streamed
+                                    ///< code (X1: 1 of 4 SSPs -> 12.8/32)
+  double scalar_eff = 1.0;          ///< sustained fraction of the scalar unit's
+                                    ///< peak on branchy unvectorized loops
+  double vector_n_half = 0.0;       ///< Hockney half-performance vector length
+  double vector_stream_eff = 0.0;   ///< achievable fraction of memory BW,
+                                    ///< unit stride
+  double vector_compute_eff = 0.0;  ///< achievable fraction of peak on long
+                                    ///< compute-bound vector loops (BLAS3)
+
+  // --- superscalar execution (Power3/4, Altix) ------------------------------
+  double compute_efficiency = 0.0;   ///< fraction of peak on cache-resident
+                                     ///< compute-bound kernels (BLAS3)
+  double cache_mb = 0.0;             ///< last-level cache per CPU
+  double stream_bw_eff = 0.0;        ///< achievable fraction of quoted memory
+                                     ///< bandwidth on unit-stride streams
+  double cache_bw_multiplier = 0.0;  ///< cache BW relative to memory BW
+
+  // --- one-sided communication ----------------------------------------------
+  double oneside_latency_us = 0.0;  ///< CAF latency where supported (X1: 3.9)
+  double oneside_per_msg_us = 0.0;  ///< pipelined per-put overhead (0 = use
+                                    ///< oneside_latency_us per message)
+  bool supports_caf = false;
+};
+
+/// The five platforms of the study.
+[[nodiscard]] const PlatformSpec& power3();
+[[nodiscard]] const PlatformSpec& power4();
+[[nodiscard]] const PlatformSpec& altix();
+[[nodiscard]] const PlatformSpec& earth_simulator();
+[[nodiscard]] const PlatformSpec& x1();
+
+/// All five, in the paper's Table 1 order.
+[[nodiscard]] const std::vector<PlatformSpec>& all_platforms();
+
+/// Lookup by name ("Power3", "Power4", "Altix", "ES", "X1"); throws on miss.
+[[nodiscard]] const PlatformSpec& platform_by_name(const std::string& name);
+
+[[nodiscard]] const char* to_string(Topology t);
+
+}  // namespace vpar::arch

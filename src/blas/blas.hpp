@@ -1,0 +1,50 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+
+namespace vpar::blas {
+
+using Complex = std::complex<double>;
+
+/// Transpose modes for gemm operands (column conventions follow BLAS but
+/// storage here is row-major).
+enum class Trans { None, Transpose, ConjTranspose };
+
+// --- level 1 ----------------------------------------------------------------
+
+/// y += alpha * x
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+void axpy(Complex alpha, std::span<const Complex> x, std::span<Complex> y);
+
+[[nodiscard]] double dot(std::span<const double> x, std::span<const double> y);
+
+/// Hermitian inner product conj(x) . y
+[[nodiscard]] Complex dotc(std::span<const Complex> x, std::span<const Complex> y);
+
+[[nodiscard]] double nrm2(std::span<const double> x);
+[[nodiscard]] double nrm2(std::span<const Complex> x);
+
+void scal(double alpha, std::span<double> x);
+void scal(Complex alpha, std::span<Complex> x);
+
+// --- level 3 ----------------------------------------------------------------
+
+/// C = alpha * op(A) * op(B) + beta * C with row-major storage.
+/// op(A) is m x k, op(B) is k x n, C is m x n. Blocked for cache reuse; the
+/// instrumentation marks these loops Cached/long-vector, which is what lets
+/// PARATEC sustain a high fraction of peak on every platform in the study.
+void gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
+          double alpha, const double* a, std::size_t lda, const double* b,
+          std::size_t ldb, double beta, double* c, std::size_t ldc);
+
+void gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
+          Complex alpha, const Complex* a, std::size_t lda, const Complex* b,
+          std::size_t ldb, Complex beta, Complex* c, std::size_t ldc);
+
+/// Flop counts for one gemm call (MADD = 2 flops; complex MADD = 8 flops).
+[[nodiscard]] double gemm_flops_real(std::size_t m, std::size_t n, std::size_t k);
+[[nodiscard]] double gemm_flops_complex(std::size_t m, std::size_t n, std::size_t k);
+
+}  // namespace vpar::blas

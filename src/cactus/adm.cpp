@@ -1,0 +1,185 @@
+#include "cactus/adm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cactus/deriv.hpp"
+#include "perf/recorder.hpp"
+
+namespace vpar::cactus {
+
+namespace {
+
+/// Second-derivative table of all six h components for all six (a<=b)
+/// derivative pairs at one point. dd[pair][component].
+struct DerivTable {
+  double dd[6][6];
+};
+
+inline void second_derivatives(const GridFunctions& state, std::size_t o,
+                               double inv_12h2, double inv_144h2, DerivTable& t) {
+  const std::ptrdiff_t s[3] = {state.sx(), state.sy(), state.sz()};
+  for (int m = 0; m < 6; ++m) {
+    const double* p = state.field(HXX + m) + o;
+    // Pure derivatives: pairs (0,0), (1,1), (2,2) = sym indices 0, 3, 5.
+    t.dd[sym(0, 0)][m] = d2(p, s[0], inv_12h2);
+    t.dd[sym(1, 1)][m] = d2(p, s[1], inv_12h2);
+    t.dd[sym(2, 2)][m] = d2(p, s[2], inv_12h2);
+    // Mixed derivatives: (0,1), (0,2), (1,2) = sym indices 1, 2, 4.
+    t.dd[sym(0, 1)][m] = d11(p, s[0], s[1], inv_144h2);
+    t.dd[sym(0, 2)][m] = d11(p, s[0], s[2], inv_144h2);
+    t.dd[sym(1, 2)][m] = d11(p, s[1], s[2], inv_144h2);
+  }
+}
+
+/// The point kernel: linearized ADM right-hand sides.
+inline void rhs_point(const GridFunctions& state, GridFunctions& rhs, std::size_t o,
+                      double inv_12h2, double inv_144h2) {
+  DerivTable t;
+  second_derivatives(state, o, inv_12h2, inv_144h2, t);
+
+  // d_i d_j (tr h) per derivative pair.
+  double ddtr[6];
+  for (int p = 0; p < 6; ++p) {
+    ddtr[p] = t.dd[p][sym(0, 0)] + t.dd[p][sym(1, 1)] + t.dd[p][sym(2, 2)];
+  }
+
+  double trk = 0.0;
+  for (int a = 0; a < 3; ++a) {
+    trk += state.field(KXX + sym(a, a))[o];
+  }
+
+  for (int i = 0; i < 3; ++i) {
+    for (int j = i; j < 3; ++j) {
+      const int m = sym(i, j);
+      // Sum_k dk di h_jk and Sum_k dk dj h_ik.
+      double term1 = 0.0, term2 = 0.0;
+      for (int k = 0; k < 3; ++k) {
+        term1 += t.dd[sym(k, i)][sym(j, k)];
+        term2 += t.dd[sym(k, j)][sym(i, k)];
+      }
+      const double lap =
+          t.dd[sym(0, 0)][m] + t.dd[sym(1, 1)][m] + t.dd[sym(2, 2)][m];
+      const double ricci = 0.5 * (term1 + term2 - lap - ddtr[m]);
+
+      rhs.field(HXX + m)[o] = -2.0 * state.field(KXX + m)[o];
+      rhs.field(KXX + m)[o] = ricci;
+    }
+  }
+  rhs.field(LAPSE)[o] = -2.0 * trk;
+}
+
+}  // namespace
+
+double rhs_flops_per_point() {
+  // 18 pure stencils (9 flops) + 18 mixed stencils (26 flops) + tr-h second
+  // derivatives (12) + trK (3) + 6 Ricci assemblies (10) + 6 h updates (6)
+  // + lapse (1).
+  return 18.0 * 9.0 + 18.0 * 26.0 + 12.0 + 3.0 + 6.0 * 10.0 + 6.0 + 1.0;
+}
+
+double rhs_bytes_per_point() {
+  // 13 fields read (stencil neighbours largely cache-resident), 13 written,
+  // plus ~6 fields' worth of plane-jump stencil misses.
+  return (13.0 + 13.0 + 6.0) * sizeof(double);
+}
+
+void compute_rhs(const GridFunctions& state, GridFunctions& rhs, double h,
+                 std::size_t i0, std::size_t i1, std::size_t j0, std::size_t j1,
+                 std::size_t k0, std::size_t k1, RhsVariant variant,
+                 std::size_t block) {
+  const double inv_12h2 = 1.0 / (12.0 * h * h);
+  const double inv_144h2 = 1.0 / (144.0 * h * h);
+
+  const std::size_t iw = i1 - i0;
+  if (variant == RhsVariant::Vector || block >= iw) {
+    for (std::size_t k = k0; k < k1; ++k) {
+      for (std::size_t j = j0; j < j1; ++j) {
+        const std::size_t row = state.at(static_cast<std::ptrdiff_t>(k),
+                                         static_cast<std::ptrdiff_t>(j),
+                                         static_cast<std::ptrdiff_t>(i0));
+        for (std::size_t i = 0; i < iw; ++i) {
+          rhs_point(state, rhs, row + i, inv_12h2, inv_144h2);
+        }
+      }
+    }
+  } else {
+    for (std::size_t ib = i0; ib < i1; ib += block) {
+      const std::size_t ie = std::min(ib + block, i1);
+      for (std::size_t k = k0; k < k1; ++k) {
+        for (std::size_t j = j0; j < j1; ++j) {
+          const std::size_t row = state.at(static_cast<std::ptrdiff_t>(k),
+                                           static_cast<std::ptrdiff_t>(j),
+                                           static_cast<std::ptrdiff_t>(ib));
+          for (std::size_t i = 0; i < ie - ib; ++i) {
+            rhs_point(state, rhs, row + i, inv_12h2, inv_144h2);
+          }
+        }
+      }
+    }
+  }
+
+  perf::LoopRecord rec;
+  rec.vectorizable = true;
+  rec.flops_per_trip = rhs_flops_per_point();
+  rec.bytes_per_trip = rhs_bytes_per_point();
+  // Multi-layer ghost zones break unit-stride regularity and keep hardware
+  // prefetch streams disengaged (paper 5.2); the per-point derivative table
+  // spills registers on every studied CPU.
+  rec.access = perf::AccessPattern::Strided;
+  rec.compute_derate = 0.45;
+  const double jk = static_cast<double>((j1 - j0) * (k1 - k0));
+  if (variant == RhsVariant::Vector || block >= iw) {
+    rec.instances = jk;
+    rec.trips = static_cast<double>(iw);
+  } else {
+    const double tiles = std::ceil(static_cast<double>(iw) / static_cast<double>(block));
+    rec.instances = jk * tiles;
+    rec.trips = static_cast<double>(std::min(block, iw));
+    // Slice buffers: 13 fields x 5 pencils x block doubles stay resident.
+    rec.working_set_bytes = 13.0 * 5.0 * rec.trips * sizeof(double) * 5.0;
+  }
+  perf::record_loop("ADM_BSSN_Sources", rec);
+}
+
+Constraints constraints_at(const GridFunctions& state, double h, std::size_t i,
+                           std::size_t j, std::size_t k) {
+  const double inv_12h = 1.0 / (12.0 * h);
+  const double inv_12h2 = 1.0 / (12.0 * h * h);
+  const double inv_144h2 = 1.0 / (144.0 * h * h);
+  const std::size_t o = state.at(static_cast<std::ptrdiff_t>(k),
+                                 static_cast<std::ptrdiff_t>(j),
+                                 static_cast<std::ptrdiff_t>(i));
+  const std::ptrdiff_t s[3] = {state.sx(), state.sy(), state.sz()};
+
+  DerivTable t;
+  second_derivatives(state, o, inv_12h2, inv_144h2, t);
+
+  Constraints c;
+  // H = di dj h_ij - Lap tr h.
+  double didj_h = 0.0, lap_tr = 0.0;
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      didj_h += t.dd[sym(a, b)][sym(a, b)];
+    }
+    lap_tr += t.dd[sym(a, a)][sym(0, 0)] + t.dd[sym(a, a)][sym(1, 1)] +
+              t.dd[sym(a, a)][sym(2, 2)];
+  }
+  c.hamiltonian = didj_h - lap_tr;
+
+  // M_i = dj K_ij - di tr K.
+  for (int i_dir = 0; i_dir < 3; ++i_dir) {
+    double div = 0.0;
+    for (int j_dir = 0; j_dir < 3; ++j_dir) {
+      div += d1(state.field(KXX + sym(i_dir, j_dir)) + o, s[j_dir], inv_12h);
+    }
+    double dtr = 0.0;
+    for (int a = 0; a < 3; ++a) {
+      dtr += d1(state.field(KXX + sym(a, a)) + o, s[i_dir], inv_12h);
+    }
+    c.momentum[static_cast<std::size_t>(i_dir)] = div - dtr;
+  }
+  return c;
+}
+
+}  // namespace vpar::cactus

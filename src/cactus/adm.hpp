@@ -1,0 +1,67 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "cactus/grid.hpp"
+
+namespace vpar::cactus {
+
+/// Field layout of the linearized ADM-BSSN system we evolve: the symmetric
+/// metric perturbation h_ij (6), the extrinsic curvature K_ij (6), and the
+/// lapse perturbation (1), 13 evolved grid functions in total.
+///
+/// Evolution equations (vacuum, linearized about Minkowski, geodesic
+/// slicing, zero shift):
+///   dt h_ij = -2 K_ij
+///   dt K_ij = R^(1)_ij
+///            = 1/2 ( dk di h_jk + dk dj h_ik - Lap h_ij - di dj tr h )
+///   dt lapse = -2 tr K        (1+log slicing, linearized)
+/// Transverse-traceless plane waves solve this system exactly, giving the
+/// test suite an analytic gravitational-wave solution; flat space (all
+/// fields zero) is a fixed point.
+enum Field : int {
+  HXX = 0, HXY, HXZ, HYY, HYZ, HZZ,
+  KXX, KXY, KXZ, KYY, KYZ, KZZ,
+  LAPSE,
+  kNumFields,
+};
+
+/// Symmetric index helper: sym(a,b) for a,b in {0,1,2} -> 0..5 matching the
+/// HXX..HZZ component order.
+[[nodiscard]] constexpr int sym(int a, int b) {
+  constexpr int table[3][3] = {{0, 1, 2}, {1, 3, 4}, {2, 4, 5}};
+  return table[a][b];
+}
+
+/// Loop-structure variants mirroring the paper's ports: Vector keeps the
+/// full-row inner loop (blocking disabled, long vector lengths); Blocked
+/// tiles the inner grid loop with slice buffers for cache locality on the
+/// superscalar systems.
+enum class RhsVariant { Vector, Blocked };
+
+/// Evaluate the right-hand side of the evolution system on the interior
+/// region [i0,i1) x [j0,j1) x [k0,k1) of the local block (bounds in interior
+/// coordinates). Ghosts of `state` must be filled two layers deep.
+void compute_rhs(const GridFunctions& state, GridFunctions& rhs, double h,
+                 std::size_t i0, std::size_t i1, std::size_t j0, std::size_t j1,
+                 std::size_t k0, std::size_t k1, RhsVariant variant,
+                 std::size_t block = 16);
+
+/// Flops compute_rhs performs per interior grid point (kernel constant,
+/// asserted against instrumented runs by the tests).
+[[nodiscard]] double rhs_flops_per_point();
+
+/// Approximate DRAM traffic of the RHS sweep per grid point.
+[[nodiscard]] double rhs_bytes_per_point();
+
+/// Linearized constraint residuals at one interior point (ghosts filled):
+/// Hamiltonian H = di dj h_ij - Lap tr h, momentum M_i = dj (K_ij - d_ij trK).
+struct Constraints {
+  double hamiltonian = 0.0;
+  std::array<double, 3> momentum{};
+};
+[[nodiscard]] Constraints constraints_at(const GridFunctions& state, double h,
+                                         std::size_t i, std::size_t j, std::size_t k);
+
+}  // namespace vpar::cactus

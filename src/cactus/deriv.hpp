@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+
+namespace vpar::cactus {
+
+/// Fourth-order centered finite-difference stencils. `p` points at the
+/// center cell; `s` is the signed element stride of the differentiation
+/// axis; `h` is the grid spacing.
+
+/// First derivative: (-u[+2] + 8u[+1] - 8u[-1] + u[-2]) / 12h.
+[[nodiscard]] inline double d1(const double* p, std::ptrdiff_t s, double inv_12h) {
+  return (-p[2 * s] + 8.0 * p[s] - 8.0 * p[-s] + p[-2 * s]) * inv_12h;
+}
+
+/// Pure second derivative:
+/// (-u[+2] + 16u[+1] - 30u[0] + 16u[-1] - u[-2]) / 12h^2.
+[[nodiscard]] inline double d2(const double* p, std::ptrdiff_t s, double inv_12h2) {
+  return (-p[2 * s] + 16.0 * p[s] - 30.0 * p[0] + 16.0 * p[-s] - p[-2 * s]) *
+         inv_12h2;
+}
+
+/// Mixed second derivative as the tensor product of two first-derivative
+/// stencils (16 taps), fourth-order accurate.
+[[nodiscard]] inline double d11(const double* p, std::ptrdiff_t sa, std::ptrdiff_t sb,
+                                double inv_144h2) {
+  auto row = [&](std::ptrdiff_t off) {
+    return -p[off + 2 * sb] + 8.0 * p[off + sb] - 8.0 * p[off - sb] + p[off - 2 * sb];
+  };
+  return (-row(2 * sa) + 8.0 * row(sa) - 8.0 * row(-sa) + row(-2 * sa)) * inv_144h2;
+}
+
+/// One-sided (upwind, 2nd order) first derivative pointing in +s direction:
+/// (-3u[0] + 4u[+1] - u[+2]) / 2h.
+[[nodiscard]] inline double d1_onesided(const double* p, std::ptrdiff_t s,
+                                        double inv_2h) {
+  return (-3.0 * p[0] + 4.0 * p[s] - p[2 * s]) * inv_2h;
+}
+
+}  // namespace vpar::cactus

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cactus/adm.hpp"
+#include "cactus/boundary.hpp"
+#include "cactus/exchange3d.hpp"
+#include "cactus/grid.hpp"
+#include "simrt/communicator.hpp"
+
+namespace vpar::cactus {
+
+/// Time integrators the Cactus GR solver supports (the paper names
+/// staggered leapfrog, McCormack, Lax-Wendroff and iterative
+/// Crank-Nicholson; we provide the two used in practice plus midpoint RK2).
+enum class Integrator {
+  IterativeCN,       ///< 3-pass iterative Crank-Nicholson (Cactus default)
+  Rk2,               ///< midpoint Runge-Kutta
+  StaggeredLeapfrog, ///< u^{n+1} = u^{n-1} + 2 dt RHS(u^n); RK2 bootstrap
+};
+
+/// Configuration of one Cactus-style evolution.
+struct Options {
+  std::size_t nx = 32, ny = 32, nz = 32;  ///< global grid
+  int px = 1, py = 1, pz = 1;             ///< processor grid
+  double h = 1.0;                         ///< grid spacing
+  double cfl = 0.25;                      ///< dt = cfl * h
+  bool periodic = true;                   ///< radiation boundaries if false
+  RhsVariant rhs_variant = RhsVariant::Vector;
+  std::size_t block = 16;
+  BoundaryVariant bc_variant = BoundaryVariant::Vectorized;
+  Integrator integrator = Integrator::IterativeCN;
+  int icn_iterations = 3;  ///< iterative Crank-Nicholson depth
+};
+
+/// Initial data: physical coordinates (measured from the domain centre) to
+/// the 13 field values.
+using InitialData =
+    std::function<std::array<double, kNumFields>(double x, double y, double z)>;
+
+/// Linearized ADM-BSSN evolution on a block-decomposed 3D grid with
+/// iterative Crank-Nicholson time integration, ghost-zone exchange and
+/// radiation boundary conditions — the computational skeleton of the
+/// Cactus GR solver the paper benchmarks.
+class Evolution {
+ public:
+  Evolution(simrt::Communicator& comm, const Options& options);
+
+  void initialize(const InitialData& id);
+  void step();
+  void run(int steps);
+
+  [[nodiscard]] double time() const { return time_; }
+  [[nodiscard]] double dt() const { return options_.cfl * options_.h; }
+
+  /// Global L2 norms over the RHS interior region (allreduced).
+  [[nodiscard]] double constraint_l2();
+  [[nodiscard]] double field_l2(int field);
+
+  /// Global L2 error of `field` against an analytic solution evaluated at
+  /// the current time.
+  [[nodiscard]] double error_l2(
+      int field, const std::function<double(double x, double y, double z,
+                                            double t)>& exact);
+
+  /// Assemble one field's global interior array on rank 0 (x fastest).
+  [[nodiscard]] std::vector<double> gather(int field);
+
+  [[nodiscard]] const Decomp3D& decomp() const { return decomp_; }
+  [[nodiscard]] GridFunctions& state() { return *state_; }
+
+ private:
+  /// Interior bounds along `axis` for the RHS region (excludes radiation
+  /// boundary layers at non-periodic global faces).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> rhs_bounds(int axis) const;
+
+  void exchange(GridFunctions& gf) { exchange_ghosts(*comm_, decomp_, gf); }
+
+  void step_icn();
+  void step_rk2();
+  void step_leapfrog();
+  void apply_update(const GridFunctions& base, const GridFunctions& rhs,
+                    double dt_eff);
+
+  simrt::Communicator* comm_;
+  Options options_;
+  Decomp3D decomp_;
+  std::unique_ptr<GridFunctions> state_;    // u^n, updated in place per step
+  std::unique_ptr<GridFunctions> scratch_;  // midpoint state
+  std::unique_ptr<GridFunctions> rhs_;
+  std::unique_ptr<GridFunctions> initial_;  // u^n copy during the step
+  std::unique_ptr<GridFunctions> previous_; // u^{n-1} for staggered leapfrog
+  bool have_previous_ = false;
+  double time_ = 0.0;
+};
+
+/// Transverse-traceless gravitational plane wave travelling in +z:
+/// h_xx = -h_yy = A cos(k (z - t)), K_xx = -K_yy = -(A k / 2) sin(k (z - t)),
+/// an exact solution of the evolved system (use with periodic boundaries and
+/// k = 2 pi m / L_z).
+[[nodiscard]] InitialData plane_wave_id(double amplitude, double k, double z0 = 0.0);
+
+/// The exact h_xx of the plane wave at time t, for error measurement.
+[[nodiscard]] std::function<double(double, double, double, double)>
+plane_wave_exact_hxx(double amplitude, double k, double z0 = 0.0);
+
+/// Compact Gaussian pulse in h_xx/K pair arranged to be outgoing, for
+/// radiation-boundary tests.
+[[nodiscard]] InitialData gaussian_pulse_id(double amplitude, double sigma);
+
+}  // namespace vpar::cactus

@@ -1,0 +1,141 @@
+#include "cactus/exchange3d.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace vpar::cactus {
+
+namespace {
+constexpr int G = GridFunctions::kGhost;
+
+/// Axis-aligned box in interior coordinates (may extend into ghosts).
+struct Box {
+  std::ptrdiff_t lo[3];
+  std::ptrdiff_t hi[3];  // exclusive
+
+  [[nodiscard]] std::size_t volume() const {
+    std::size_t v = 1;
+    for (int a = 0; a < 3; ++a) v *= static_cast<std::size_t>(hi[a] - lo[a]);
+    return v;
+  }
+};
+
+std::vector<double> pack(const GridFunctions& gf, const Box& b) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(gf.nfields()) * b.volume());
+  for (int f = 0; f < gf.nfields(); ++f) {
+    const double* field = gf.field(f);
+    for (std::ptrdiff_t k = b.lo[2]; k < b.hi[2]; ++k) {
+      for (std::ptrdiff_t j = b.lo[1]; j < b.hi[1]; ++j) {
+        const double* row = field + gf.at(k, j, b.lo[0]);
+        out.insert(out.end(), row, row + (b.hi[0] - b.lo[0]));
+      }
+    }
+  }
+  return out;
+}
+
+void unpack(GridFunctions& gf, const Box& b, const std::vector<double>& in) {
+  std::size_t idx = 0;
+  for (int f = 0; f < gf.nfields(); ++f) {
+    double* field = gf.field(f);
+    for (std::ptrdiff_t k = b.lo[2]; k < b.hi[2]; ++k) {
+      for (std::ptrdiff_t j = b.lo[1]; j < b.hi[1]; ++j) {
+        double* row = field + gf.at(k, j, b.lo[0]);
+        const auto count = static_cast<std::size_t>(b.hi[0] - b.lo[0]);
+        std::copy_n(in.data() + idx, count, row);
+        idx += count;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Decomp3D::Decomp3D(std::size_t nx, std::size_t ny, std::size_t nz, int px, int py,
+                   int pz, int rank, bool periodic_in)
+    : n{nx, ny, nz}, p{px, py, pz}, periodic(periodic_in) {
+  if (px <= 0 || py <= 0 || pz <= 0) {
+    throw std::runtime_error("Decomp3D: bad processor grid");
+  }
+  for (int a = 0; a < 3; ++a) {
+    if (n[a] % static_cast<std::size_t>(p[a]) != 0) {
+      throw std::runtime_error("Decomp3D: grid not divisible by processor grid");
+    }
+    nl[a] = n[a] / static_cast<std::size_t>(p[a]);
+    if (nl[a] < 2 * G) {
+      throw std::runtime_error("Decomp3D: local block smaller than ghost width");
+    }
+  }
+  c[0] = rank % px;
+  c[1] = (rank / px) % py;
+  c[2] = rank / (px * py);
+}
+
+int Decomp3D::rank_of(int ci, int cj, int ck) const {
+  const int m[3] = {((ci % p[0]) + p[0]) % p[0], ((cj % p[1]) + p[1]) % p[1],
+                    ((ck % p[2]) + p[2]) % p[2]};
+  return (m[2] * p[1] + m[1]) * p[0] + m[0];
+}
+
+int Decomp3D::neighbor(int axis, int dir) const {
+  if (!periodic) {
+    if (dir < 0 && at_min(axis)) return -1;
+    if (dir > 0 && at_max(axis)) return -1;
+  }
+  int cc[3] = {c[0], c[1], c[2]};
+  cc[axis] += dir;
+  return rank_of(cc[0], cc[1], cc[2]);
+}
+
+void exchange_ghosts(simrt::Communicator& comm, const Decomp3D& d,
+                     GridFunctions& gf) {
+  // Sweep axes in order; earlier axes' ghosts are included in later sweeps'
+  // face boxes so edge/corner data propagates.
+  for (int axis = 0; axis < 3; ++axis) {
+    Box span{};
+    for (int a = 0; a < 3; ++a) {
+      if (a < axis) {
+        span.lo[a] = -G;
+        span.hi[a] = static_cast<std::ptrdiff_t>(d.nl[a]) + G;
+      } else {
+        span.lo[a] = 0;
+        span.hi[a] = static_cast<std::ptrdiff_t>(d.nl[a]);
+      }
+    }
+    const auto nla = static_cast<std::ptrdiff_t>(d.nl[axis]);
+
+    Box send_minus = span, send_plus = span, ghost_minus = span, ghost_plus = span;
+    send_minus.lo[axis] = 0;
+    send_minus.hi[axis] = G;
+    send_plus.lo[axis] = nla - G;
+    send_plus.hi[axis] = nla;
+    ghost_minus.lo[axis] = -G;
+    ghost_minus.hi[axis] = 0;
+    ghost_plus.lo[axis] = nla;
+    ghost_plus.hi[axis] = nla + G;
+
+    const int minus = d.neighbor(axis, -1);
+    const int plus = d.neighbor(axis, +1);
+    const int tag = 200 + axis;
+
+    // Buffered sends first; receives after — no deadlock, partners may be
+    // asymmetric at non-periodic boundaries.
+    if (minus >= 0) comm.send<double>(minus, pack(gf, send_minus), tag);
+    if (plus >= 0) comm.send<double>(plus, pack(gf, send_plus), tag + 10);
+    if (plus >= 0) {
+      std::vector<double> buf(static_cast<std::size_t>(gf.nfields()) *
+                              ghost_plus.volume());
+      comm.recv<double>(plus, std::span<double>(buf), tag);
+      unpack(gf, ghost_plus, buf);
+    }
+    if (minus >= 0) {
+      std::vector<double> buf(static_cast<std::size_t>(gf.nfields()) *
+                              ghost_minus.volume());
+      comm.recv<double>(minus, std::span<double>(buf), tag + 10);
+      unpack(gf, ghost_minus, buf);
+    }
+  }
+}
+
+}  // namespace vpar::cactus

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace vpar::cactus {
+
+/// Block of 3D grid functions with ghost width 2 (the multi-layer ghost
+/// zones the paper's prefetch discussion hinges on). Storage is one
+/// contiguous slab per field, x contiguous: field f, cell (k, j, i) lives at
+/// field(f)[at(k, j, i)] where (k, j, i) index interior cells and may extend
+/// into the ghosts with values in [-2, n+2).
+class GridFunctions {
+ public:
+  static constexpr int kGhost = 2;
+
+  GridFunctions(int nfields, std::size_t nx, std::size_t ny, std::size_t nz)
+      : nfields_(nfields), nx_(nx), ny_(ny), nz_(nz),
+        sx_(1), sy_(nx + 2 * kGhost), sz_(sy_ * (ny + 2 * kGhost)),
+        plane_(sz_ * (nz + 2 * kGhost)),
+        data_(static_cast<std::size_t>(nfields) * plane_, 0.0) {
+    if (nfields <= 0) throw std::runtime_error("GridFunctions: need fields");
+  }
+
+  [[nodiscard]] int nfields() const { return nfields_; }
+  [[nodiscard]] std::size_t nx() const { return nx_; }
+  [[nodiscard]] std::size_t ny() const { return ny_; }
+  [[nodiscard]] std::size_t nz() const { return nz_; }
+
+  /// Signed strides for stencil arithmetic.
+  [[nodiscard]] std::ptrdiff_t sx() const { return static_cast<std::ptrdiff_t>(sx_); }
+  [[nodiscard]] std::ptrdiff_t sy() const { return static_cast<std::ptrdiff_t>(sy_); }
+  [[nodiscard]] std::ptrdiff_t sz() const { return static_cast<std::ptrdiff_t>(sz_); }
+
+  [[nodiscard]] std::size_t field_size() const { return plane_; }
+
+  [[nodiscard]] double* field(int f) {
+    return data_.data() + static_cast<std::size_t>(f) * plane_;
+  }
+  [[nodiscard]] const double* field(int f) const {
+    return data_.data() + static_cast<std::size_t>(f) * plane_;
+  }
+
+  [[nodiscard]] std::size_t at(std::ptrdiff_t k, std::ptrdiff_t j,
+                               std::ptrdiff_t i) const {
+    return static_cast<std::size_t>((k + kGhost) * sz() + (j + kGhost) * sy() +
+                                    (i + kGhost));
+  }
+
+  void fill(double value) { data_.assign(data_.size(), value); }
+
+  [[nodiscard]] std::vector<double>& raw() { return data_; }
+  [[nodiscard]] const std::vector<double>& raw() const { return data_; }
+
+ private:
+  int nfields_;
+  std::size_t nx_, ny_, nz_;
+  std::size_t sx_, sy_, sz_;
+  std::size_t plane_;
+  std::vector<double> data_;
+};
+
+}  // namespace vpar::cactus

@@ -1,0 +1,19 @@
+#include "core/app_registry.hpp"
+
+namespace vpar::core {
+
+const std::vector<AppInfo>& application_registry() {
+  static const std::vector<AppInfo> apps = {
+      {"LBMHD", 1500, "Plasma Physics",
+       "Magneto-Hydrodynamics, Lattice Boltzmann", "Grid"},
+      {"PARATEC", 50000, "Material Science",
+       "Density Functional Theory, Kohn Sham, FFT", "Fourier/Grid"},
+      {"CACTUS", 84000, "Astrophysics",
+       "Einstein Theory of GR, ADM-BSSN, Method of Lines", "Grid"},
+      {"GTC", 5000, "Magnetic Fusion",
+       "Particle in Cell, gyrophase-averaged Vlasov-Poisson", "Particle"},
+  };
+  return apps;
+}
+
+}  // namespace vpar::core

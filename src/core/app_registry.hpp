@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vpar::core {
+
+/// Static description of one studied application (paper Table 2).
+struct AppInfo {
+  std::string name;
+  int lines;  ///< size of the original production code
+  std::string discipline;
+  std::string methods;
+  std::string structure;
+};
+
+/// The four applications, in Table 2 order.
+[[nodiscard]] const std::vector<AppInfo>& application_registry();
+
+}  // namespace vpar::core

@@ -1,0 +1,37 @@
+#include "core/profile_builder.hpp"
+
+namespace vpar::core {
+
+arch::AppProfile from_run(const simrt::RunResult& run, double baseline_flops) {
+  arch::AppProfile app;
+  app.procs = run.size();
+  app.baseline_flops = baseline_flops;
+
+  // Critical path: the rank doing the most floating-point work.
+  std::size_t critical = 0;
+  double best = -1.0;
+  for (std::size_t r = 0; r < run.per_rank.size(); ++r) {
+    const double flops = run.per_rank[r].kernels().total_flops();
+    if (flops > best) {
+      best = flops;
+      critical = r;
+    }
+  }
+  if (!run.per_rank.empty()) {
+    app.kernels = run.per_rank[critical].kernels();
+    app.comm = run.per_rank[critical].comm();
+  }
+  return app;
+}
+
+arch::AppProfile scale_profile(const arch::AppProfile& base, double work_factor,
+                               double comm_factor, int procs, double baseline_flops) {
+  arch::AppProfile out;
+  out.kernels = base.kernels.scaled(work_factor);
+  out.comm = base.comm.scaled(comm_factor);
+  out.procs = procs;
+  out.baseline_flops = baseline_flops;
+  return out;
+}
+
+}  // namespace vpar::core

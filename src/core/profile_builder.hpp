@@ -1,0 +1,29 @@
+#pragma once
+
+#include "arch/machine_model.hpp"
+#include "simrt/runtime.hpp"
+
+namespace vpar::core {
+
+/// Build an AppProfile from an instrumented simulated run.
+///
+/// The critical-path rank (largest modeled work by flop count) represents
+/// per-rank compute; its communication profile represents per-rank traffic.
+/// `baseline_flops` is the paper's "valid baseline flop count" for the whole
+/// job — pass the algorithmic flops, not the instrumented flops, when a port
+/// does extra work.
+[[nodiscard]] arch::AppProfile from_run(const simrt::RunResult& run,
+                                        double baseline_flops);
+
+/// Extrapolate a measured profile to a larger configuration.
+///
+/// `work_factor` multiplies every loop's instance count (per rank);
+/// `comm_factor` multiplies per-rank communication volume; `procs` is the
+/// target concurrency; `baseline_flops` the baseline at the target scale.
+/// Per-grid-point / per-particle counts are scale-invariant (tests verify
+/// this at several sizes), which is what makes the extrapolation sound.
+[[nodiscard]] arch::AppProfile scale_profile(const arch::AppProfile& base,
+                                             double work_factor, double comm_factor,
+                                             int procs, double baseline_flops);
+
+}  // namespace vpar::core

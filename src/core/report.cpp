@@ -1,0 +1,51 @@
+#include "core/report.hpp"
+
+#include <ostream>
+
+#include "core/table.hpp"
+
+namespace vpar::core {
+
+void print_profile(std::ostream& os, const perf::KernelProfile& profile,
+                   unsigned vector_length) {
+  Table table({"Region", "Mflop", "MB moved", "flops/byte", "VOR", "AVL"});
+  const double total = profile.total_flops();
+  for (const auto& [region, records] : profile.regions()) {
+    double flops = 0.0, bytes = 0.0;
+    perf::KernelProfile sub;
+    for (const auto& rec : records) {
+      flops += rec.total_flops();
+      bytes += rec.total_bytes();
+      sub.record(region, rec);
+    }
+    const auto stats = perf::compute_vector_stats(sub, vector_length);
+    table.add_row({region, fmt_fixed(flops / 1e6, 1), fmt_fixed(bytes / 1e6, 1),
+                   bytes > 0.0 ? fmt_fixed(flops / bytes, 2) : "--",
+                   fmt_pct(stats.vor), fmt_fixed(stats.avl, 0)});
+  }
+  table.print(os);
+  os << "total: " << fmt_fixed(total / 1e6, 1) << " Mflop, "
+     << fmt_fixed(profile.total_bytes() / 1e6, 1) << " MB\n";
+}
+
+void print_prediction(std::ostream& os, const arch::Prediction& p) {
+  os << p.platform << ": " << fmt_gflops(p.gflops_per_proc) << " Gflops/P ("
+     << fmt_pct(p.pct_peak) << " of peak), " << fmt_fixed(p.seconds, 3)
+     << " s predicted (" << fmt_fixed(p.compute_seconds, 3) << " compute + "
+     << fmt_fixed(p.comm_seconds, 3) << " comm)";
+  if (p.avl > 0.0) {
+    os << ", VOR " << fmt_pct(p.vor) << ", AVL " << fmt_fixed(p.avl, 0);
+  }
+  os << '\n';
+  if (!p.region_seconds.empty()) {
+    double total = 0.0;
+    for (const auto& [region, t] : p.region_seconds) total += t;
+    Table table({"Region", "seconds", "share"});
+    for (const auto& [region, t] : p.region_seconds) {
+      table.add_row({region, fmt_fixed(t, 4), fmt_pct(total > 0 ? t / total : 0.0)});
+    }
+    table.print(os);
+  }
+}
+
+}  // namespace vpar::core

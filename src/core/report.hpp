@@ -1,0 +1,20 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "arch/machine_model.hpp"
+#include "perf/kernel_profile.hpp"
+
+namespace vpar::core {
+
+/// Print an ftrace/hpmcount-style per-region report of a kernel profile:
+/// flops, memory traffic, arithmetic intensity, and (for a vector machine of
+/// the given VL) the region's VOR and AVL.
+void print_profile(std::ostream& os, const perf::KernelProfile& profile,
+                   unsigned vector_length = 256);
+
+/// Print one platform prediction with its per-region time breakdown —
+/// the model-side analogue of the paper's profiling discussion.
+void print_prediction(std::ostream& os, const arch::Prediction& prediction);
+
+}  // namespace vpar::core

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vpar::core {
+
+/// Minimal fixed-width table printer used by every bench binary to emit
+/// paper-style tables. Columns are sized to their widest cell; alignment is
+/// right for cells that parse as numbers, left otherwise.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with a rule under the header.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "4.62" style fixed-precision formatting helpers for table cells.
+[[nodiscard]] std::string fmt_gflops(double gflops);
+[[nodiscard]] std::string fmt_pct(double fraction);
+[[nodiscard]] std::string fmt_fixed(double value, int digits);
+
+}  // namespace vpar::core

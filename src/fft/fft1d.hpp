@@ -1,0 +1,53 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace vpar::fft {
+
+using Complex = std::complex<double>;
+
+/// Plan-based 1D complex-to-complex FFT.
+///
+/// Power-of-two lengths use an iterative radix-2 decimation-in-time
+/// transform; other lengths fall back to Bluestein's chirp-z algorithm built
+/// on an internal power-of-two plan. Forward is unnormalized; inverse applies
+/// the 1/n factor, so inverse(forward(x)) == x.
+class Fft1d {
+ public:
+  explicit Fft1d(std::size_t n);
+  ~Fft1d();
+  Fft1d(Fft1d&&) noexcept;
+  Fft1d& operator=(Fft1d&&) noexcept;
+  Fft1d(const Fft1d&) = delete;
+  Fft1d& operator=(const Fft1d&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// In-place transforms; data.size() must equal size().
+  void forward(std::span<Complex> data) const;
+  void inverse(std::span<Complex> data) const;
+
+  /// Flops of one transform of this length (the standard 5 n log2 n count
+  /// for powers of two; Bluestein counts its three internal transforms).
+  [[nodiscard]] double flop_count() const;
+
+  [[nodiscard]] static bool is_power_of_two(std::size_t n) {
+    return n != 0 && (n & (n - 1)) == 0;
+  }
+
+ private:
+  struct Bluestein;
+
+  void radix2(std::span<Complex> data, bool invert) const;
+
+  std::size_t n_;
+  std::vector<std::size_t> bitrev_;          // radix-2 only
+  std::vector<Complex> twiddle_fwd_;         // radix-2 only, per stage concatenated
+  std::unique_ptr<Bluestein> bluestein_;     // non-power-of-two only
+};
+
+}  // namespace vpar::fft

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "fft/fft_multi.hpp"
+
+namespace vpar::fft {
+
+/// Dense 3D complex grid, index (x, y, z) with z contiguous.
+struct Grid3 {
+  Grid3() = default;
+  Grid3(std::size_t nx, std::size_t ny, std::size_t nz)
+      : nx(nx), ny(ny), nz(nz), data(nx * ny * nz) {}
+
+  [[nodiscard]] std::size_t index(std::size_t x, std::size_t y, std::size_t z) const {
+    return (x * ny + y) * nz + z;
+  }
+  [[nodiscard]] Complex& at(std::size_t x, std::size_t y, std::size_t z) {
+    return data[index(x, y, z)];
+  }
+  [[nodiscard]] const Complex& at(std::size_t x, std::size_t y, std::size_t z) const {
+    return data[index(x, y, z)];
+  }
+  [[nodiscard]] std::size_t size() const { return data.size(); }
+
+  std::size_t nx = 0, ny = 0, nz = 0;
+  std::vector<Complex> data;
+};
+
+/// Serial 3D FFT built from batched 1D transforms along Z, Y then X with
+/// local transposes bringing each axis contiguous — the same structure the
+/// distributed version parallelizes. Power-of-two dims.
+class Fft3d {
+ public:
+  Fft3d(std::size_t nx, std::size_t ny, std::size_t nz);
+
+  void forward(Grid3& grid) const;
+  void inverse(Grid3& grid) const;
+
+  [[nodiscard]] double flop_count() const;
+
+ private:
+  void transform(Grid3& grid, bool invert) const;
+
+  std::size_t nx_, ny_, nz_;
+  MultiFft1d fx_, fy_, fz_;
+};
+
+}  // namespace vpar::fft

@@ -1,0 +1,144 @@
+#include "fft/fft3d_dist.hpp"
+
+#include <stdexcept>
+
+#include "perf/recorder.hpp"
+
+namespace vpar::fft {
+
+DistFft3d::DistFft3d(simrt::Communicator& comm, std::size_t nx, std::size_t ny,
+                     std::size_t nz)
+    : comm_(&comm), nx_(nx), ny_(ny), nz_(nz), procs_(comm.size()),
+      fx_(nx), fy_(ny), fz_(nz) {
+  if (nx % static_cast<std::size_t>(procs_) != 0 ||
+      ny % static_cast<std::size_t>(procs_) != 0) {
+    throw std::runtime_error("DistFft3d: nx and ny must be divisible by ranks");
+  }
+}
+
+namespace {
+
+/// Batched Y-transform of an (lnx, ny, nz) slab via per-plane transposes.
+void fft_y_inplace(Grid3& work, const MultiFft1d& fy, bool invert) {
+  const std::size_t ny = work.ny, nz = work.nz;
+  std::vector<Complex> plane(ny * nz);
+  for (std::size_t x = 0; x < work.nx; ++x) {
+    Complex* base = work.data.data() + x * ny * nz;
+    for (std::size_t y = 0; y < ny; ++y) {
+      for (std::size_t z = 0; z < nz; ++z) plane[z * ny + y] = base[y * nz + z];
+    }
+    fy.simultaneous(std::span<Complex>(plane), nz, invert);
+    for (std::size_t y = 0; y < ny; ++y) {
+      for (std::size_t z = 0; z < nz; ++z) base[y * nz + z] = plane[z * ny + y];
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Complex> DistFft3d::global_transpose_fwd(const Grid3& work) {
+  const std::size_t lnx = local_nx();
+  const std::size_t lny = local_ny();
+  const auto P = static_cast<std::size_t>(procs_);
+
+  std::vector<std::vector<Complex>> outboxes(P);
+  for (std::size_t s = 0; s < P; ++s) {
+    auto& box = outboxes[s];
+    box.reserve(lnx * lny * nz_);
+    for (std::size_t xl = 0; xl < lnx; ++xl) {
+      for (std::size_t yl = 0; yl < lny; ++yl) {
+        const std::size_t y = s * lny + yl;
+        const Complex* row = work.data.data() + (xl * ny_ + y) * nz_;
+        box.insert(box.end(), row, row + nz_);
+      }
+    }
+  }
+  auto inboxes = comm_->alltoallv(outboxes);
+
+  std::vector<Complex> out(lny * nz_ * nx_);
+  for (std::size_t src = 0; src < P; ++src) {
+    const auto& box = inboxes[src];
+    const std::size_t src_lnx = nx_ / P;
+    if (box.size() != src_lnx * lny * nz_) {
+      throw std::runtime_error("DistFft3d: transpose block size mismatch");
+    }
+    for (std::size_t xl = 0; xl < src_lnx; ++xl) {
+      const std::size_t x = src * src_lnx + xl;
+      for (std::size_t yl = 0; yl < lny; ++yl) {
+        for (std::size_t z = 0; z < nz_; ++z) {
+          out[(yl * nz_ + z) * nx_ + x] = box[(xl * lny + yl) * nz_ + z];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Complex> DistFft3d::forward(const Grid3& slab) {
+  const std::size_t lnx = local_nx();
+  if (slab.nx != lnx || slab.ny != ny_ || slab.nz != nz_) {
+    throw std::runtime_error("DistFft3d::forward: slab shape mismatch");
+  }
+  Grid3 work = slab;
+  fz_.simultaneous(std::span<Complex>(work.data), lnx * ny_, false);
+  fft_y_inplace(work, fy_, false);
+  auto out = global_transpose_fwd(work);
+  fx_.simultaneous(std::span<Complex>(out), local_ny() * nz_, false);
+  return out;
+}
+
+Grid3 DistFft3d::inverse(const std::vector<Complex>& transposed) {
+  const std::size_t lnx = local_nx();
+  const std::size_t lny = local_ny();
+  const auto P = static_cast<std::size_t>(procs_);
+  if (transposed.size() != lny * nz_ * nx_) {
+    throw std::runtime_error("DistFft3d::inverse: input size mismatch");
+  }
+
+  std::vector<Complex> spec = transposed;
+  fx_.simultaneous(std::span<Complex>(spec), lny * nz_, true);
+
+  // Reverse global transpose: send each destination rank its x-slab portion,
+  // ordered (xl, yl, z) — the same ordering the forward transpose used.
+  std::vector<std::vector<Complex>> outboxes(P);
+  for (std::size_t s = 0; s < P; ++s) {
+    auto& box = outboxes[s];
+    box.reserve(lnx * lny * nz_);
+    for (std::size_t xl = 0; xl < lnx; ++xl) {
+      const std::size_t x = s * lnx + xl;
+      for (std::size_t yl = 0; yl < lny; ++yl) {
+        for (std::size_t z = 0; z < nz_; ++z) {
+          box.push_back(spec[(yl * nz_ + z) * nx_ + x]);
+        }
+      }
+    }
+  }
+  auto inboxes = comm_->alltoallv(outboxes);
+
+  Grid3 work(lnx, ny_, nz_);
+  for (std::size_t src = 0; src < P; ++src) {
+    const auto& box = inboxes[src];
+    if (box.size() != lnx * lny * nz_) {
+      throw std::runtime_error("DistFft3d: inverse transpose block size mismatch");
+    }
+    for (std::size_t xl = 0; xl < lnx; ++xl) {
+      for (std::size_t yl = 0; yl < lny; ++yl) {
+        const std::size_t y = src * lny + yl;
+        for (std::size_t z = 0; z < nz_; ++z) {
+          work.data[(xl * ny_ + y) * nz_ + z] = box[(xl * lny + yl) * nz_ + z];
+        }
+      }
+    }
+  }
+
+  fft_y_inplace(work, fy_, true);
+  fz_.simultaneous(std::span<Complex>(work.data), lnx * ny_, true);
+  return work;
+}
+
+double DistFft3d::flop_count_per_rank() const {
+  return fz_.flop_count(local_nx() * ny_) + fy_.flop_count(local_nx() * nz_) +
+         fx_.flop_count(local_ny() * nz_);
+}
+
+}  // namespace vpar::fft

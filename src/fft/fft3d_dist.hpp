@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "fft/fft3d.hpp"
+#include "simrt/communicator.hpp"
+
+namespace vpar::fft {
+
+/// Slab-decomposed distributed 3D FFT.
+///
+/// Input distribution: each rank owns nx/P consecutive x-planes of the
+/// (nx, ny, nz) grid, stored as a local Grid3 of shape (nx/P, ny, nz).
+/// forward() transforms Z and Y locally, performs the global transpose
+/// (alltoallv — the bisection-limited pattern of the paper's PARATEC
+/// analysis), transforms X, and leaves the data in the transposed
+/// distribution: each rank owns ny/P consecutive y-rows stored as
+/// (ny/P, nz, nx) with x contiguous. inverse() undoes the whole pipeline.
+///
+/// nx and ny must be divisible by the number of ranks.
+class DistFft3d {
+ public:
+  DistFft3d(simrt::Communicator& comm, std::size_t nx, std::size_t ny, std::size_t nz);
+
+  [[nodiscard]] std::size_t nx() const { return nx_; }
+  [[nodiscard]] std::size_t ny() const { return ny_; }
+  [[nodiscard]] std::size_t nz() const { return nz_; }
+  [[nodiscard]] std::size_t local_nx() const { return nx_ / procs_; }
+  [[nodiscard]] std::size_t local_ny() const { return ny_ / procs_; }
+
+  /// `slab`: (local_nx, ny, nz) x-distributed input. Returns the transposed
+  /// y-distributed spectrum as a flat (local_ny, nz, nx) array, x contiguous.
+  [[nodiscard]] std::vector<Complex> forward(const Grid3& slab);
+
+  /// Inverse of forward(): consumes a (local_ny, nz, nx) transposed spectrum
+  /// and reconstructs this rank's (local_nx, ny, nz) slab.
+  [[nodiscard]] Grid3 inverse(const std::vector<Complex>& transposed);
+
+  [[nodiscard]] double flop_count_per_rank() const;
+
+ private:
+  [[nodiscard]] std::vector<Complex> global_transpose_fwd(const Grid3& slab);
+
+  simrt::Communicator* comm_;
+  std::size_t nx_, ny_, nz_;
+  int procs_;
+  MultiFft1d fx_, fy_, fz_;
+};
+
+}  // namespace vpar::fft

@@ -1,0 +1,17 @@
+#pragma once
+
+#include "gtc/torus_grid.hpp"
+
+namespace vpar::gtc {
+
+/// Solve the perpendicular Poisson equation  -Lap_perp phi = rho  on every
+/// locally owned toroidal plane with a 2D FFT spectral solve (periodic
+/// cross-section, zero-mean gauge: the k=0 mode is set to zero). Reads
+/// grid.charge (owned planes only) and writes grid.phi.
+void solve_poisson(TorusGrid& grid);
+
+/// Compute E = -grad phi on every owned plane with periodic central
+/// differences, writing grid.ex/ey.
+void compute_efield(TorusGrid& grid);
+
+}  // namespace vpar::gtc

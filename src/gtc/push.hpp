@@ -1,0 +1,23 @@
+#pragma once
+
+#include "gtc/particles.hpp"
+#include "gtc/torus_grid.hpp"
+
+namespace vpar::gtc {
+
+/// Gather-push step: gather the gyro-averaged electric field at each
+/// marker's 4-point ring (same 32-point stencil as deposition, Figure 8b),
+/// then advance guiding centres by the ExB drift (B = b0 along the torus
+/// axis) and zeta by the parallel velocity:
+///   dx/dt =  Ey / b0,  dy/dt = -Ex / b0,  dzeta/dt = vpar.
+/// Cross-section coordinates wrap periodically; zeta wraps globally to
+/// [0, 2pi) and may leave this rank's domain (the shift step migrates those
+/// markers). `ex_ghost`/`ey_ghost` are the right neighbour's first-plane
+/// fields, needed by markers between the last owned plane and the boundary.
+void gather_push(ParticleSet& particles, const TorusGrid& grid,
+                 const std::vector<double>& ex_ghost,
+                 const std::vector<double>& ey_ghost, double dt, double b0);
+
+[[nodiscard]] double push_flops_per_particle();
+
+}  // namespace vpar::gtc

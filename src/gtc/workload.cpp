@@ -1,0 +1,163 @@
+#include "gtc/workload.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "gtc/poisson.hpp"
+#include "gtc/push.hpp"
+
+namespace vpar::gtc {
+
+namespace {
+
+/// 5 n log2 n per transform; the 2D plane solve does rows + columns, twice
+/// (forward and inverse).
+double plane_fft_flops(double ngx, double ngy) {
+  const double rows = 5.0 * ngx * std::log2(ngx) * ngy;
+  const double cols = 5.0 * ngy * std::log2(ngy) * ngx;
+  return 2.0 * (rows + cols);
+}
+
+}  // namespace
+
+double baseline_flops(const Table6Config& c) {
+  const double cells = static_cast<double>(c.ngx * c.ngy) *
+                       static_cast<double>(c.nplanes);
+  const double particles = cells * static_cast<double>(c.particles_per_cell);
+  const double per_step =
+      particles * (deposition_flops_per_particle() + push_flops_per_particle()) +
+      static_cast<double>(c.nplanes) *
+          (plane_fft_flops(static_cast<double>(c.ngx), static_cast<double>(c.ngy)) +
+           12.0 * static_cast<double>(c.ngx * c.ngy));
+  return per_step * static_cast<double>(c.steps);
+}
+
+arch::AppProfile make_profile(const Table6Config& c) {
+  if (c.procs > c.nplanes && c.openmp_threads == 1) {
+    throw std::runtime_error(
+        "gtc::make_profile: MPI concurrency capped at the plane count; use "
+        "openmp_threads for higher P (the paper's hybrid rows)");
+  }
+  const int ranks = c.openmp_threads > 1 ? c.nplanes : c.procs;
+  if (c.nplanes % ranks != 0) {
+    throw std::runtime_error("gtc::make_profile: ranks must divide planes");
+  }
+  if (c.openmp_threads > 1 && ranks * c.openmp_threads != c.procs) {
+    throw std::runtime_error("gtc::make_profile: procs != ranks * threads");
+  }
+
+  const double plane_size = static_cast<double>(c.ngx * c.ngy);
+  const double planes_local = static_cast<double>(c.nplanes / ranks);
+  const double particles_rank = plane_size * planes_local *
+                                static_cast<double>(c.particles_per_cell);
+  const double steps = static_cast<double>(c.steps);
+  // Hybrid: loop-level work splits over threads at the given efficiency;
+  // each of the procs CPUs then carries this share.
+  const double share =
+      c.openmp_threads > 1
+          ? 1.0 / (static_cast<double>(c.openmp_threads) * c.openmp_efficiency)
+          : 1.0;
+
+  arch::AppProfile app;
+  app.procs = c.procs;
+  app.baseline_flops = baseline_flops(c);
+
+  // --- charge deposition -----------------------------------------------------
+  {
+    perf::LoopRecord rec;
+    rec.flops_per_trip = deposition_flops_per_particle();
+    rec.bytes_per_trip = 32.0 * 2.0 * sizeof(double) + 6.0 * sizeof(double);
+    rec.access = perf::AccessPattern::Gather;
+    rec.working_set_bytes = (planes_local + 1.0) * plane_size * sizeof(double);
+    if (c.deposit == DepositVariant::Scatter) {
+      rec.vectorizable = false;
+      rec.instances = steps * share;
+      rec.trips = particles_rank;
+    } else {
+      rec.vectorizable = true;
+      rec.instances = steps * share * std::ceil(particles_rank / static_cast<double>(c.vlen));
+      rec.trips = static_cast<double>(c.vlen);
+    }
+    app.kernels.record("charge_deposition", rec);
+    if (c.deposit == DepositVariant::WorkVector) {
+      perf::LoopRecord red;  // lane reduction
+      red.vectorizable = true;
+      red.instances = steps * share * static_cast<double>(c.vlen);
+      red.trips = (planes_local + 1.0) * plane_size;
+      red.flops_per_trip = 1.0;
+      red.bytes_per_trip = 2.0 * sizeof(double);
+      red.access = perf::AccessPattern::Stream;
+      app.kernels.record("charge_deposition", red);
+    }
+  }
+
+  // --- gather-push ------------------------------------------------------------
+  {
+    perf::LoopRecord rec;
+    rec.vectorizable = true;
+    rec.instances = steps * share;
+    rec.trips = particles_rank;
+    rec.flops_per_trip = push_flops_per_particle();
+    rec.bytes_per_trip = 32.0 * 2.0 * sizeof(double) + 12.0 * sizeof(double);
+    rec.access = perf::AccessPattern::Gather;
+    rec.working_set_bytes = 2.0 * (planes_local + 1.0) * plane_size * sizeof(double);
+    app.kernels.record("gather_push", rec);
+  }
+
+  // --- field solve -------------------------------------------------------------
+  {
+    perf::LoopRecord rec;  // batched FFT butterflies across the plane rows
+    rec.vectorizable = true;
+    const double ffts = plane_fft_flops(static_cast<double>(c.ngx),
+                                        static_cast<double>(c.ngy)) /
+                        10.0;  // butterflies at 10 flops each
+    rec.instances = steps * share * planes_local * ffts / static_cast<double>(c.ngy);
+    rec.trips = static_cast<double>(c.ngy);
+    rec.flops_per_trip = 10.0;
+    rec.bytes_per_trip = 64.0;
+    rec.access = perf::AccessPattern::Strided;
+    rec.working_set_bytes = plane_size * 16.0;
+    app.kernels.record("poisson", rec);
+  }
+  {
+    perf::LoopRecord rec;  // spectral scaling + E field sweeps
+    rec.vectorizable = true;
+    rec.instances = steps * share * planes_local * 2.0 * static_cast<double>(c.ngy);
+    rec.trips = static_cast<double>(c.ngx);
+    rec.flops_per_trip = 6.0;
+    rec.bytes_per_trip = 4.0 * sizeof(double);
+    rec.access = perf::AccessPattern::Stream;
+    app.kernels.record("poisson", rec);
+  }
+
+  // --- shift --------------------------------------------------------------------
+  {
+    perf::LoopRecord rec;
+    rec.flops_per_trip = c.shift_variant == ShiftVariant::NestedIf ? 8.0 : 4.0;
+    rec.bytes_per_trip = sizeof(double);
+    rec.access = perf::AccessPattern::Stream;
+    if (c.shift_variant == ShiftVariant::NestedIf) {
+      rec.vectorizable = false;
+      rec.instances = steps * share;
+      rec.trips = particles_rank;
+    } else {
+      rec.vectorizable = true;
+      rec.instances = 2.0 * steps * share;
+      rec.trips = particles_rank;
+    }
+    app.kernels.record("shift", rec);
+  }
+
+  // --- communication ---------------------------------------------------------
+  const double plane_bytes = plane_size * sizeof(double);
+  // Ghost charge flush + two E-field ghost planes per step.
+  app.comm.record(perf::CommKind::PointToPoint, 3.0 * steps, 3.0 * plane_bytes * steps);
+  // Migrating markers: 6 doubles each, shift_fraction of the population.
+  app.comm.record(perf::CommKind::PointToPoint, 4.0 * steps,
+                  c.shift_fraction * particles_rank * 6.0 * sizeof(double) * steps);
+  app.comm.record(perf::CommKind::Reduction, 2.0 * steps, 16.0 * steps);
+
+  return app;
+}
+
+}  // namespace vpar::gtc

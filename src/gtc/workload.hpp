@@ -1,0 +1,38 @@
+#pragma once
+
+#include "arch/machine_model.hpp"
+#include "gtc/deposition.hpp"
+#include "gtc/shift.hpp"
+
+namespace vpar::gtc {
+
+/// One cell of the paper's Table 6. The standard production grid is 64
+/// toroidal planes of ~180^2 cross-section points (~2M grid points); 10 or
+/// 100 particles per cell give 20M / 200M markers. MPI concurrency is capped
+/// at the 64 toroidal subdomains; the P=1024 row runs hybrid MPI/OpenMP with
+/// 16 loop-level threads per domain (Power3 only in the paper).
+struct Table6Config {
+  std::size_t ngx = 180, ngy = 180;
+  int nplanes = 64;
+  int particles_per_cell = 10;
+  int procs = 32;  ///< MPI ranks (<= nplanes)
+  int steps = 100;
+  DepositVariant deposit = DepositVariant::Scatter;
+  ShiftVariant shift_variant = ShiftVariant::NestedIf;
+  std::size_t vlen = 256;      ///< work-vector lanes (machine vector length)
+  double shift_fraction = 0.1; ///< markers migrating per step
+  int openmp_threads = 1;      ///< loop-level threads per MPI rank (hybrid)
+  double openmp_efficiency = 0.5;  ///< paper: 1024-way hybrid is ~20% slower
+                                   ///< than 64-way vector runs
+};
+
+/// Synthesize the per-processor AppProfile at paper scale. Record shapes
+/// mirror the instrumented kernels; tests assert agreement with measured
+/// small runs.
+[[nodiscard]] arch::AppProfile make_profile(const Table6Config& config);
+
+/// Baseline algorithmic flops (deposition + push + field solve), excluding
+/// the work-vector algorithm's extra work, per the paper's accounting.
+[[nodiscard]] double baseline_flops(const Table6Config& config);
+
+}  // namespace vpar::gtc

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+
+#include "lbmhd/field_set.hpp"
+
+namespace vpar::lbmhd {
+
+/// BGK relaxation rates (omega = 1/tau) for the scalar and magnetic
+/// populations; viscosity = cs^2 (tau_f - 1/2), resistivity = cs^2 (tau_g - 1/2).
+struct CollisionParams {
+  double omega_f = 1.0;
+  double omega_g = 1.0;
+};
+
+/// Collision step, long-row variant: the inner loop runs over a full grid
+/// row (the vector-friendly form used on the ES and X1, where the compiler
+/// strip-mines the inner grid-point loop).
+void collide_flat(FieldSet& fields, const CollisionParams& params);
+
+/// Collision step, cache-blocked variant: the inner grid-point loop is
+/// blocked so the 27 planes' slices stay cache-resident (the Power3/4 and
+/// Altix form). Identical arithmetic, different loop structure.
+void collide_blocked(FieldSet& fields, const CollisionParams& params,
+                     std::size_t block);
+
+/// Floating-point operations the collision kernel performs per grid point
+/// (counted from the kernel's arithmetic; used for baselines and tests).
+[[nodiscard]] double collision_flops_per_point();
+
+/// DRAM traffic per grid point (27 planes read + written).
+[[nodiscard]] double collision_bytes_per_point();
+
+}  // namespace vpar::lbmhd

@@ -1,0 +1,162 @@
+#include "lbmhd/exchange.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace vpar::lbmhd {
+
+namespace {
+constexpr int G = FieldSet::kGhost;
+constexpr int kTagX = 101;
+constexpr int kTagX2 = 102;
+constexpr int kTagY = 103;
+constexpr int kTagY2 = 104;
+}  // namespace
+
+Decomp2D::Decomp2D(std::size_t nx_in, std::size_t ny_in, int px_in, int py_in,
+                   int rank)
+    : nx(nx_in), ny(ny_in), px(px_in), py(py_in) {
+  if (px <= 0 || py <= 0) throw std::runtime_error("Decomp2D: bad processor grid");
+  if (nx % static_cast<std::size_t>(px) != 0 ||
+      ny % static_cast<std::size_t>(py) != 0) {
+    throw std::runtime_error("Decomp2D: grid not divisible by processor grid");
+  }
+  pi = rank % px;
+  pj = rank / px;
+  nxl = nx / static_cast<std::size_t>(px);
+  nyl = ny / static_cast<std::size_t>(py);
+  if (nxl < 2 * G || nyl < 2 * G) {
+    throw std::runtime_error("Decomp2D: local block smaller than ghost width");
+  }
+}
+
+void exchange_mpi(simrt::Communicator& comm, const Decomp2D& d, FieldSet& fields) {
+  const std::size_t nxl = fields.nxl(), nyl = fields.nyl();
+  const std::size_t stride = fields.stride();
+
+  // --- X phase: pack boundary columns of all planes into one buffer -------
+  const std::size_t xcount = static_cast<std::size_t>(FieldSet::kPlanes) * nyl * G;
+  std::vector<double> send_east(xcount), send_west(xcount);
+  std::vector<double> recv_west(xcount), recv_east(xcount);
+
+  std::size_t k = 0;
+  for (int p = 0; p < FieldSet::kPlanes; ++p) {
+    const double* plane = fields.plane(p);
+    for (std::size_t j = 0; j < nyl; ++j) {
+      const std::size_t row = fields.at(static_cast<std::ptrdiff_t>(j), 0);
+      for (int g = 0; g < G; ++g) {
+        send_east[k] = plane[row + nxl - G + static_cast<std::size_t>(g)];
+        send_west[k] = plane[row + static_cast<std::size_t>(g)];
+        ++k;
+      }
+    }
+  }
+  comm.sendrecv<double>(d.east(), send_east, d.west(), recv_west, kTagX);
+  comm.sendrecv<double>(d.west(), send_west, d.east(), recv_east, kTagX2);
+
+  k = 0;
+  for (int p = 0; p < FieldSet::kPlanes; ++p) {
+    double* plane = fields.plane(p);
+    for (std::size_t j = 0; j < nyl; ++j) {
+      const std::size_t row = fields.at(static_cast<std::ptrdiff_t>(j), -G);
+      for (int g = 0; g < G; ++g) {
+        plane[row + static_cast<std::size_t>(g)] = recv_west[k];          // west ghosts
+        plane[row + G + nxl + static_cast<std::size_t>(g)] = recv_east[k];  // east ghosts
+        ++k;
+      }
+    }
+  }
+
+  // --- Y phase: full-width rows (including x ghosts) carry the corners ----
+  const std::size_t ycount = static_cast<std::size_t>(FieldSet::kPlanes) * G * stride;
+  std::vector<double> send_north(ycount), send_south(ycount);
+  std::vector<double> recv_south(ycount), recv_north(ycount);
+
+  k = 0;
+  for (int p = 0; p < FieldSet::kPlanes; ++p) {
+    const double* plane = fields.plane(p);
+    for (int g = 0; g < G; ++g) {
+      const double* top =
+          plane + fields.at(static_cast<std::ptrdiff_t>(nyl) - G + g, -G);
+      const double* bottom = plane + fields.at(g, -G);
+      std::memcpy(&send_north[k], top, stride * sizeof(double));
+      std::memcpy(&send_south[k], bottom, stride * sizeof(double));
+      k += stride;
+    }
+  }
+  comm.sendrecv<double>(d.north(), send_north, d.south(), recv_south, kTagY);
+  comm.sendrecv<double>(d.south(), send_south, d.north(), recv_north, kTagY2);
+
+  k = 0;
+  for (int p = 0; p < FieldSet::kPlanes; ++p) {
+    double* plane = fields.plane(p);
+    for (int g = 0; g < G; ++g) {
+      double* below = plane + fields.at(-G + g, -G);
+      double* above = plane + fields.at(static_cast<std::ptrdiff_t>(nyl) + g, -G);
+      std::memcpy(below, &recv_south[k], stride * sizeof(double));
+      std::memcpy(above, &recv_north[k], stride * sizeof(double));
+      k += stride;
+    }
+  }
+
+  // Buffer packing/unpacking is user-level copy traffic the CAF port avoids
+  // (the paper credits CAF with a 3x memory-traffic reduction on the halo
+  // path: no user pack + no system-level MPI copy).
+  perf::LoopRecord rec;
+  rec.vectorizable = true;
+  rec.instances = 4.0;  // pack east/west + unpack west/east ghost strips
+  rec.trips = static_cast<double>(xcount + ycount) / 2.0;
+  rec.flops_per_trip = 0.0;
+  rec.bytes_per_trip = 2.0 * sizeof(double) * 2.0;  // copy in + MPI system copy
+  rec.access = perf::AccessPattern::Strided;
+  perf::record_loop("comm_pack", rec);
+}
+
+void exchange_caf(simrt::CoArray<double>& ca, const Decomp2D& d, FieldSet& fields,
+                  std::size_t block_offset) {
+  const std::size_t nxl = fields.nxl(), nyl = fields.nyl();
+  const std::size_t stride = fields.stride();
+  const std::size_t plane_size = fields.plane_size();
+
+  ca.sync_all();  // neighbours finished updating their interiors
+
+  // --- X phase: put my boundary columns into neighbours' ghost columns.
+  // CAF subscript notation on a non-contiguous face: one small put per
+  // (plane, row) — many short messages, exactly the behaviour the paper
+  // attributes to the CAF port.
+  for (int p = 0; p < FieldSet::kPlanes; ++p) {
+    const double* plane = fields.plane(p);
+    const std::size_t pbase = block_offset + static_cast<std::size_t>(p) * plane_size;
+    for (std::size_t j = 0; j < nyl; ++j) {
+      const std::size_t row = fields.at(static_cast<std::ptrdiff_t>(j), 0);
+      // East boundary -> east image's west ghosts (columns -G..-1).
+      ca.put(d.east(), pbase + fields.at(static_cast<std::ptrdiff_t>(j), -G),
+             std::span<const double>(plane + row + nxl - G, G));
+      // West boundary -> west image's east ghosts (columns nxl..nxl+G-1).
+      ca.put(d.west(),
+             pbase + fields.at(static_cast<std::ptrdiff_t>(j),
+                               static_cast<std::ptrdiff_t>(nxl)),
+             std::span<const double>(plane + row, G));
+    }
+  }
+  ca.sync_all();  // x ghosts visible before rows (with corners) move
+
+  // --- Y phase: full-width contiguous rows, one put per (plane, ghost row).
+  for (int p = 0; p < FieldSet::kPlanes; ++p) {
+    const double* plane = fields.plane(p);
+    const std::size_t pbase = block_offset + static_cast<std::size_t>(p) * plane_size;
+    for (int g = 0; g < G; ++g) {
+      const double* top =
+          plane + fields.at(static_cast<std::ptrdiff_t>(nyl) - G + g, -G);
+      ca.put(d.north(), pbase + fields.at(-G + g, -G),
+             std::span<const double>(top, stride));
+      const double* bottom = plane + fields.at(g, -G);
+      ca.put(d.south(), pbase + fields.at(static_cast<std::ptrdiff_t>(nyl) + g, -G),
+             std::span<const double>(bottom, stride));
+    }
+  }
+  ca.sync_all();
+}
+
+}  // namespace vpar::lbmhd

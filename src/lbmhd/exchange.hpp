@@ -1,0 +1,51 @@
+#pragma once
+
+#include <optional>
+
+#include "lbmhd/field_set.hpp"
+#include "simrt/coarray.hpp"
+#include "simrt/communicator.hpp"
+
+namespace vpar::lbmhd {
+
+/// Block distribution of the periodic global grid over a 2D processor grid
+/// (paper Section 3: "block distributed over a 2D processor grid").
+struct Decomp2D {
+  Decomp2D(std::size_t nx, std::size_t ny, int px, int py, int rank);
+
+  std::size_t nx, ny;    ///< global extents
+  int px, py;            ///< processor grid
+  int pi, pj;            ///< this rank's coordinates (pi: x, pj: y)
+  std::size_t nxl, nyl;  ///< local extents
+
+  [[nodiscard]] int rank_of(int ci, int cj) const {
+    const int mi = ((ci % px) + px) % px;
+    const int mj = ((cj % py) + py) % py;
+    return mj * px + mi;
+  }
+  [[nodiscard]] int east() const { return rank_of(pi + 1, pj); }
+  [[nodiscard]] int west() const { return rank_of(pi - 1, pj); }
+  [[nodiscard]] int north() const { return rank_of(pi, pj + 1); }
+  [[nodiscard]] int south() const { return rank_of(pi, pj - 1); }
+
+  /// Global coordinates of this rank's first interior cell.
+  [[nodiscard]] std::size_t x0() const { return static_cast<std::size_t>(pi) * nxl; }
+  [[nodiscard]] std::size_t y0() const { return static_cast<std::size_t>(pj) * nyl; }
+};
+
+/// Two-phase MPI ghost exchange: non-contiguous boundary columns are packed
+/// into temporary buffers (reducing message count, as the paper's MPI port
+/// does), exchanged east/west, then full-width rows — carrying the fresh
+/// corner data — are exchanged north/south.
+void exchange_mpi(simrt::Communicator& comm, const Decomp2D& d, FieldSet& fields);
+
+/// One-sided CAF ghost exchange: each image puts its boundary strips
+/// directly into its neighbours' ghost zones via co-array writes, with
+/// sync_all separating the epochs. No packing and no intermediate message
+/// copies, but many small transfers — the trade-off the paper measures.
+/// `block_offset` is the element offset of `fields` inside each image's
+/// co-array block (the two time levels alternate halves of the block).
+void exchange_caf(simrt::CoArray<double>& fields_coarray, const Decomp2D& d,
+                  FieldSet& fields, std::size_t block_offset = 0);
+
+}  // namespace vpar::lbmhd

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "lbmhd/lattice.hpp"
+
+namespace vpar::lbmhd {
+
+/// Local block of mesoscopic variables: 27 planes (9 scalar f, 9 vector g as
+/// gx/gy pairs), each an (nyl + 2G) x (nxl + 2G) array with ghost width
+/// G = 2 — enough for the 4-point interpolation stencil of diagonal
+/// streaming. x is contiguous; interior cell (j, i) lives at (j+G, i+G).
+///
+/// Storage may be external (a CAF co-array block) so that the one-sided
+/// exchange variant can write neighbours' ghosts directly, or owned.
+class FieldSet {
+ public:
+  static constexpr int kGhost = 2;
+  static constexpr int kPlanes = 3 * Lattice::kDirs;  // f, gx, gy
+
+  FieldSet(std::size_t nxl, std::size_t nyl)
+      : nxl_(nxl), nyl_(nyl), owned_(total_size(nxl, nyl), 0.0), data_(owned_) {}
+
+  FieldSet(std::size_t nxl, std::size_t nyl, std::span<double> external)
+      : nxl_(nxl), nyl_(nyl), data_(external) {
+    if (external.size() < total_size(nxl, nyl)) {
+      throw std::runtime_error("FieldSet: external buffer too small");
+    }
+  }
+
+  // data_ may alias owned_; copying/moving would dangle it.
+  FieldSet(const FieldSet&) = delete;
+  FieldSet& operator=(const FieldSet&) = delete;
+
+  [[nodiscard]] static std::size_t total_size(std::size_t nxl, std::size_t nyl) {
+    return static_cast<std::size_t>(kPlanes) * (nxl + 2 * kGhost) * (nyl + 2 * kGhost);
+  }
+
+  [[nodiscard]] std::size_t nxl() const { return nxl_; }
+  [[nodiscard]] std::size_t nyl() const { return nyl_; }
+  [[nodiscard]] std::size_t stride() const { return nxl_ + 2 * kGhost; }
+  [[nodiscard]] std::size_t rows() const { return nyl_ + 2 * kGhost; }
+  [[nodiscard]] std::size_t plane_size() const { return stride() * rows(); }
+
+  /// Plane index helpers.
+  [[nodiscard]] double* f(int dir) { return plane(dir); }
+  [[nodiscard]] double* gx(int dir) { return plane(Lattice::kDirs + dir); }
+  [[nodiscard]] double* gy(int dir) { return plane(2 * Lattice::kDirs + dir); }
+  [[nodiscard]] const double* f(int dir) const { return plane(dir); }
+  [[nodiscard]] const double* gx(int dir) const { return plane(Lattice::kDirs + dir); }
+  [[nodiscard]] const double* gy(int dir) const { return plane(2 * Lattice::kDirs + dir); }
+
+  [[nodiscard]] double* plane(int p) {
+    return data_.data() + static_cast<std::size_t>(p) * plane_size();
+  }
+  [[nodiscard]] const double* plane(int p) const {
+    return data_.data() + static_cast<std::size_t>(p) * plane_size();
+  }
+
+  /// Flat offset of interior cell (j, i); j, i may extend into ghosts with
+  /// negative values or values >= interior extent.
+  [[nodiscard]] std::size_t at(std::ptrdiff_t j, std::ptrdiff_t i) const {
+    return static_cast<std::size_t>(j + kGhost) * stride() +
+           static_cast<std::size_t>(i + kGhost);
+  }
+
+  /// Offset of the local block inside the containing co-array, in elements
+  /// (the whole FieldSet is the block, so plane p cell (j,i) is at
+  /// p*plane_size() + at(j,i)).
+  [[nodiscard]] std::span<double> raw() { return data_; }
+  [[nodiscard]] std::span<const double> raw() const { return data_; }
+
+ private:
+  std::size_t nxl_;
+  std::size_t nyl_;
+  std::vector<double> owned_;
+  std::span<double> data_;
+};
+
+}  // namespace vpar::lbmhd

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "lbmhd/field_set.hpp"
+
+namespace vpar::lbmhd {
+
+/// Streaming step (pull form): next(x) = current(x - e_i dt) for every
+/// population. Axis directions are integer shifts (dense copies); the four
+/// diagonal directions of the octagonal lattice land between grid points and
+/// are evaluated by separable third-degree (cubic Lagrange) interpolation —
+/// the interpolation step between the spatial and stream lattices that the
+/// paper describes (Figure 2b). `current` must have its ghost zones filled
+/// to depth 2 before the call. The rest population is copied unchanged.
+void stream(const FieldSet& current, FieldSet& next);
+
+/// Flops per grid point of one streaming step (cubic interpolation only;
+/// axis shifts are pure copies).
+[[nodiscard]] double stream_flops_per_point();
+
+}  // namespace vpar::lbmhd

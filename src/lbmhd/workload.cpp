@@ -1,0 +1,115 @@
+#include "lbmhd/workload.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "lbmhd/collision.hpp"
+#include "lbmhd/field_set.hpp"
+#include "lbmhd/stream.hpp"
+
+namespace vpar::lbmhd {
+
+namespace {
+constexpr int G = FieldSet::kGhost;
+constexpr double kPlanes = FieldSet::kPlanes;
+}  // namespace
+
+double baseline_flops(std::size_t nx, std::size_t ny, int steps) {
+  const double points = static_cast<double>(nx) * static_cast<double>(ny);
+  return points * static_cast<double>(steps) *
+         (collision_flops_per_point() + stream_flops_per_point());
+}
+
+arch::AppProfile make_profile(const Table3Config& c) {
+  const int p_side = static_cast<int>(std::lround(std::sqrt(c.procs)));
+  if (p_side * p_side != c.procs) {
+    throw std::runtime_error("lbmhd::make_profile: procs must be a square");
+  }
+  const double nxl = static_cast<double>(c.nx) / p_side;
+  const double nyl = static_cast<double>(c.ny) / p_side;
+  const double stride = nxl + 2 * G;
+  const double steps = c.steps;
+
+  arch::AppProfile app;
+  app.procs = c.procs;
+  app.baseline_flops = baseline_flops(c.nx, c.ny, c.steps);
+
+  // --- collision (shape mirrors collide_flat / collide_blocked) ------------
+  {
+    perf::LoopRecord rec;
+    rec.vectorizable = true;
+    rec.flops_per_trip = collision_flops_per_point();
+    rec.bytes_per_trip = collision_bytes_per_point();
+    rec.access = perf::AccessPattern::Stream;
+    if (c.blocked_collision) {
+      const double blocks = std::ceil(nxl / static_cast<double>(c.block));
+      rec.instances = nyl * blocks * steps;
+      rec.trips = std::min<double>(static_cast<double>(c.block), nxl);
+      rec.working_set_bytes = 27.0 * rec.trips * sizeof(double) * 8.0;
+    } else {
+      rec.instances = nyl * steps;
+      rec.trips = nxl;
+    }
+    app.kernels.record("collision", rec);
+  }
+
+  // --- stream (same three records as stream()) -----------------------------
+  {
+    perf::LoopRecord rec;
+    rec.vectorizable = true;
+    rec.instances = 15.0 * nyl * steps;
+    rec.trips = nxl;
+    rec.flops_per_trip = 0.0;
+    rec.bytes_per_trip = 16.0;
+    rec.access = perf::AccessPattern::Stream;
+    app.kernels.record("stream", rec);
+  }
+  {
+    perf::LoopRecord rec;
+    rec.vectorizable = true;
+    rec.instances = 12.0 * (nyl + 2 * G) * steps;
+    rec.trips = nxl;
+    rec.flops_per_trip = 7.0;
+    rec.bytes_per_trip = 24.0;
+    rec.access = perf::AccessPattern::Stream;
+    app.kernels.record("stream", rec);
+  }
+  {
+    perf::LoopRecord rec;
+    rec.vectorizable = true;
+    rec.instances = 12.0 * nyl * steps;
+    rec.trips = nxl;
+    rec.flops_per_trip = 7.0;
+    rec.bytes_per_trip = 40.0;
+    rec.access = perf::AccessPattern::Strided;
+    app.kernels.record("stream", rec);
+  }
+
+  // --- communication --------------------------------------------------------
+  const double xbytes = kPlanes * nyl * G * sizeof(double);   // one x face
+  const double ybytes = kPlanes * G * stride * sizeof(double);  // one y face
+  if (c.caf) {
+    // Many small puts: per (plane, row) on x faces, per (plane, row) on y.
+    const double xmsgs = 2.0 * kPlanes * nyl;
+    const double ymsgs = 2.0 * kPlanes * G;
+    app.comm.record(perf::CommKind::OneSided, (xmsgs + ymsgs) * steps,
+                    2.0 * (xbytes + ybytes) * steps);
+    app.comm.record(perf::CommKind::Barrier, 3.0 * steps, 0.0);
+  } else {
+    app.comm.record(perf::CommKind::PointToPoint, 4.0 * steps,
+                    2.0 * (xbytes + ybytes) * steps);
+    // User-level pack + system-level MPI copy traffic (absent in CAF).
+    perf::LoopRecord rec;
+    rec.vectorizable = true;
+    rec.instances = 4.0 * steps;
+    rec.trips = (kPlanes * nyl * G + kPlanes * G * stride) / 2.0;
+    rec.flops_per_trip = 0.0;
+    rec.bytes_per_trip = 4.0 * sizeof(double);
+    rec.access = perf::AccessPattern::Strided;
+    app.kernels.record("comm_pack", rec);
+  }
+
+  return app;
+}
+
+}  // namespace vpar::lbmhd

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "arch/machine_model.hpp"
+
+namespace vpar::lbmhd {
+
+/// One cell of the paper's Table 3: grid size, concurrency, and port flavour.
+struct Table3Config {
+  std::size_t nx = 4096, ny = 4096;
+  int procs = 16;   ///< restricted to squared integers, as in the paper
+  int steps = 100;  ///< timesteps measured
+  bool caf = false; ///< X1 CAF port instead of MPI
+  bool blocked_collision = false;  ///< cache-blocked superscalar variant
+  std::size_t block = 512;
+};
+
+/// Synthesize the per-rank AppProfile for a paper-scale LBMHD run. The loop
+/// records use the same per-point constants and record shapes as the
+/// instrumented kernels (tests assert the synthesized counts match profiles
+/// measured from real small-scale runs), with trip counts and communication
+/// volumes evaluated at the target scale.
+[[nodiscard]] arch::AppProfile make_profile(const Table3Config& config);
+
+/// Baseline algorithmic flops of a run (collision + interpolation), the
+/// quantity the paper divides by wall-clock time.
+[[nodiscard]] double baseline_flops(std::size_t nx, std::size_t ny, int steps);
+
+}  // namespace vpar::lbmhd

@@ -1,0 +1,57 @@
+#include "paratec/basis.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace vpar::paratec {
+
+namespace {
+std::size_t next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+Basis::Basis(double g2_cutoff) : g2_cutoff_(g2_cutoff) {
+  if (g2_cutoff <= 0.0) throw std::runtime_error("Basis: cutoff must be positive");
+  const int gmax = static_cast<int>(std::floor(std::sqrt(g2_cutoff)));
+  // Factor-2 margin so products of two basis functions are representable —
+  // the standard charge-density grid choice.
+  grid_n_ = next_power_of_two(static_cast<std::size_t>(4 * gmax + 2));
+
+  std::map<std::pair<int, int>, Column> columns;
+  for (int gx = -gmax; gx <= gmax; ++gx) {
+    for (int gy = -gmax; gy <= gmax; ++gy) {
+      for (int gz = -gmax; gz <= gmax; ++gz) {
+        const double g2 = static_cast<double>(gx * gx + gy * gy + gz * gz);
+        if (g2 > g2_cutoff) continue;
+        auto& col = columns[{gx, gy}];
+        col.gx = gx;
+        col.gy = gy;
+        col.gz.push_back(gz);
+      }
+    }
+  }
+
+  std::size_t offset = 0;
+  columns_.reserve(columns.size());
+  for (auto& [key, col] : columns) {
+    col.offset = offset;
+    offset += col.gz.size();
+    columns_.push_back(std::move(col));
+  }
+  size_ = offset;
+
+  kinetic_.resize(size_);
+  for (const auto& col : columns_) {
+    for (std::size_t m = 0; m < col.gz.size(); ++m) {
+      const double g2 = static_cast<double>(col.gx * col.gx + col.gy * col.gy +
+                                            col.gz[m] * col.gz[m]);
+      kinetic_[col.offset + m] = 0.5 * g2;
+    }
+  }
+}
+
+}  // namespace vpar::paratec

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace vpar::paratec {
+
+using Complex = std::complex<double>;
+
+/// One reciprocal-lattice vector of the plane-wave basis, in integer units
+/// of 2*pi/a for a cubic supercell of lattice constant a.
+struct GVector {
+  int gx = 0, gy = 0, gz = 0;
+  double g2 = 0.0;  ///< |G|^2 in (2 pi / a)^2 units; kinetic energy = g2 / 2
+};
+
+/// A column of the G-sphere: all basis vectors sharing (gx, gy) (paper
+/// Figure 4a). Columns are the distribution unit of the Fourier-space
+/// layout.
+struct Column {
+  int gx = 0, gy = 0;
+  std::vector<int> gz;       ///< members, ascending
+  std::size_t offset = 0;    ///< start of this column in the global coefficient order
+};
+
+/// Plane-wave basis for a cubic supercell: every G with |G|^2 <= g2_cutoff
+/// (in (2 pi/a)^2 units), grouped into columns, plus the real-space FFT grid
+/// that contains the sphere with the usual factor-2 margin for products.
+class Basis {
+ public:
+  Basis(double g2_cutoff);
+
+  [[nodiscard]] double g2_cutoff() const { return g2_cutoff_; }
+  [[nodiscard]] std::size_t size() const { return size_; }  ///< plane waves
+  [[nodiscard]] const std::vector<Column>& columns() const { return columns_; }
+  [[nodiscard]] std::size_t grid_n() const { return grid_n_; }  ///< cubic FFT grid
+
+  /// Global coefficient index of (column c, member m).
+  [[nodiscard]] std::size_t index_of(std::size_t c, std::size_t m) const {
+    return columns_[c].offset + m;
+  }
+
+  /// Kinetic energies g2/2 in global coefficient order.
+  [[nodiscard]] const std::vector<double>& kinetic() const { return kinetic_; }
+
+  /// Wrap a signed G component onto the FFT grid index in [0, n).
+  [[nodiscard]] std::size_t grid_index(int g) const {
+    const auto n = static_cast<int>(grid_n_);
+    return static_cast<std::size_t>(((g % n) + n) % n);
+  }
+
+ private:
+  double g2_cutoff_;
+  std::size_t size_ = 0;
+  std::size_t grid_n_ = 0;
+  std::vector<Column> columns_;
+  std::vector<double> kinetic_;
+};
+
+}  // namespace vpar::paratec

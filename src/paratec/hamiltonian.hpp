@@ -1,0 +1,80 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "paratec/transform.hpp"
+
+namespace vpar::paratec {
+
+/// Atomic positions in fractional supercell coordinates [0,1)^3.
+struct Atom {
+  double x = 0.0, y = 0.0, z = 0.0;
+};
+
+/// Silicon-like atoms on a diamond-ish sublattice of an ncell^3 supercell
+/// (8 atoms per cell), enough structure to make the local potential
+/// non-trivial. Returns 8 * ncell^3 atoms.
+[[nodiscard]] std::vector<Atom> silicon_supercell(int ncell);
+
+/// Kleinman-Bylander style separable nonlocal pseudopotential: one
+/// s-channel Gaussian projector per atom,
+///   V_NL = D sum_a |beta_a><beta_a|,  <G|beta_a> = exp(-|G|^2 s^2/2) e^{-iG.R_a}.
+/// Applying it is a projector GEMM + allreduce + back-projection — the other
+/// half of a norm-conserving pseudopotential alongside the local part.
+struct NonlocalOptions {
+  bool enabled = false;
+  double strength = -0.5;  ///< D; negative = attractive channel
+  double sigma = 0.25;     ///< projector width in cell units
+};
+
+/// Kohn-Sham-like single-particle Hamiltonian
+///   H = -1/2 Lap + V_local(r) + V_NL,
+/// with V_local a norm-conserving-style soft local pseudopotential (sum of
+/// periodic Gaussian wells at the atom sites) and V_NL an optional
+/// Kleinman-Bylander separable term. The kinetic term is diagonal in the
+/// plane-wave basis; the local potential acts in real space via the
+/// specialized parallel FFT — PARATEC's core computational pattern.
+class Hamiltonian {
+ public:
+  /// Collective: builds the local potential slab on every rank.
+  Hamiltonian(simrt::Communicator& comm, const Basis& basis, const Layout& layout,
+              const std::vector<Atom>& atoms, double v_depth = 1.0,
+              double v_width = 0.15, const NonlocalOptions& nonlocal = {});
+
+  /// hpsi = H psi (both in the owner's local coefficient order).
+  void apply(std::span<const Complex> psi, std::span<Complex> hpsi);
+
+  /// Replace the local potential slab (the SCF driver sets
+  /// V_ion + V_Hartree + V_xc here each cycle).
+  void set_potential(std::vector<double> vlocal) {
+    if (vlocal.size() != vlocal_.size()) {
+      throw std::runtime_error("Hamiltonian::set_potential: slab size mismatch");
+    }
+    vlocal_ = std::move(vlocal);
+  }
+
+  [[nodiscard]] std::size_t local_coeffs() const { return transform_.local_coeffs(); }
+  [[nodiscard]] const std::vector<double>& vlocal_slab() const { return vlocal_; }
+  [[nodiscard]] WavefunctionTransform& transform() { return transform_; }
+  [[nodiscard]] const Basis& basis() const { return *basis_; }
+  [[nodiscard]] const Layout& layout() const { return *layout_; }
+  [[nodiscard]] simrt::Communicator& comm() { return *comm_; }
+
+  /// Number of H applications performed (for flop accounting in benches).
+  [[nodiscard]] long applies() const { return applies_; }
+
+ private:
+  simrt::Communicator* comm_;
+  const Basis* basis_;
+  const Layout* layout_;
+  WavefunctionTransform transform_;
+  std::vector<double> vlocal_;  ///< real-space local potential, owned slab
+  std::vector<double> kinetic_local_;  ///< g2/2 for the owned coefficients
+  NonlocalOptions nonlocal_;
+  std::size_t natoms_ = 0;
+  std::vector<Complex> projectors_;  ///< natoms x local_coeffs, row-major
+  long applies_ = 0;
+};
+
+}  // namespace vpar::paratec

@@ -1,0 +1,46 @@
+#include "paratec/layout.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace vpar::paratec {
+
+Layout::Layout(const Basis& basis, int procs) : procs_(procs) {
+  if (procs <= 0) throw std::runtime_error("Layout: procs must be positive");
+  const auto& columns = basis.columns();
+  owned_.resize(static_cast<std::size_t>(procs));
+  owner_.assign(columns.size(), 0);
+  local_offset_.assign(columns.size(), 0);
+  local_size_.assign(static_cast<std::size_t>(procs), 0);
+
+  // Descending column length; ties broken by index for determinism.
+  std::vector<std::size_t> order(columns.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (columns[a].gz.size() != columns[b].gz.size()) {
+      return columns[a].gz.size() > columns[b].gz.size();
+    }
+    return a < b;
+  });
+
+  for (std::size_t c : order) {
+    const auto lightest = static_cast<std::size_t>(std::distance(
+        local_size_.begin(),
+        std::min_element(local_size_.begin(), local_size_.end())));
+    owner_[c] = static_cast<int>(lightest);
+    local_offset_[c] = local_size_[lightest];
+    local_size_[lightest] += columns[c].gz.size();
+    owned_[lightest].push_back(c);
+  }
+}
+
+std::size_t Layout::max_local_size() const {
+  return *std::max_element(local_size_.begin(), local_size_.end());
+}
+
+std::size_t Layout::min_local_size() const {
+  return *std::min_element(local_size_.begin(), local_size_.end());
+}
+
+}  // namespace vpar::paratec

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "paratec/basis.hpp"
+
+namespace vpar::paratec {
+
+/// Load-balanced distribution of G-sphere columns over processors, using the
+/// paper's algorithm (§4.2): order columns by descending length, then hand
+/// the next column to the processor currently holding the fewest points.
+/// The real-space grid is distributed as contiguous z-plane slabs
+/// (Figure 4b).
+class Layout {
+ public:
+  Layout(const Basis& basis, int procs);
+
+  [[nodiscard]] int procs() const { return procs_; }
+
+  /// Columns owned by `rank` (indices into basis.columns()).
+  [[nodiscard]] const std::vector<std::size_t>& columns_of(int rank) const {
+    return owned_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Owner of column c.
+  [[nodiscard]] int owner_of(std::size_t c) const { return owner_[c]; }
+
+  /// Plane-wave coefficients held by `rank`.
+  [[nodiscard]] std::size_t local_size(int rank) const {
+    return local_size_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Offset of column c inside its owner's local coefficient array.
+  [[nodiscard]] std::size_t local_offset(std::size_t c) const {
+    return local_offset_[c];
+  }
+
+  /// Max/min points over processors — the balance the greedy algorithm buys.
+  [[nodiscard]] std::size_t max_local_size() const;
+  [[nodiscard]] std::size_t min_local_size() const;
+
+  /// z-plane slab of the real-space grid owned by `rank`:
+  /// planes [rank * nz/P, (rank+1) * nz/P). grid_n must divide evenly.
+  [[nodiscard]] std::size_t planes_per_rank(std::size_t grid_n) const {
+    return grid_n / static_cast<std::size_t>(procs_);
+  }
+
+ private:
+  int procs_;
+  std::vector<std::vector<std::size_t>> owned_;
+  std::vector<int> owner_;
+  std::vector<std::size_t> local_offset_;
+  std::vector<std::size_t> local_size_;
+};
+
+}  // namespace vpar::paratec

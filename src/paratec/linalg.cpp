@@ -1,0 +1,117 @@
+#include "paratec/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace vpar::paratec {
+
+void cholesky(std::vector<Complex>& a, std::size_t n) {
+  if (a.size() != n * n) throw std::runtime_error("cholesky: bad size");
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a[j * n + j].real();
+    for (std::size_t k = 0; k < j; ++k) d -= std::norm(a[j * n + k]);
+    if (d <= 0.0) throw std::runtime_error("cholesky: matrix not positive definite");
+    const double ljj = std::sqrt(d);
+    a[j * n + j] = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      Complex s = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) {
+        s -= a[i * n + k] * std::conj(a[j * n + k]);
+      }
+      a[i * n + j] = s / ljj;
+    }
+    for (std::size_t k = j + 1; k < n; ++k) a[j * n + k] = Complex{};  // zero upper
+  }
+}
+
+void forward_substitute_rows(const std::vector<Complex>& l, std::size_t n,
+                             Complex* x, std::size_t m) {
+  for (std::size_t i = 0; i < n; ++i) {
+    Complex* row_i = x + i * m;
+    for (std::size_t j = 0; j < i; ++j) {
+      const Complex lij = l[i * n + j];
+      const Complex* row_j = x + j * m;
+      for (std::size_t k = 0; k < m; ++k) row_i[k] -= lij * row_j[k];
+    }
+    const Complex lii = l[i * n + i];
+    for (std::size_t k = 0; k < m; ++k) row_i[k] /= lii;
+  }
+}
+
+EigenResult hermitian_eigen(std::vector<Complex> a, std::size_t n, int sweeps) {
+  if (a.size() != n * n) throw std::runtime_error("hermitian_eigen: bad size");
+  // Accumulated unitary G: A_in = G (diag) G^H at convergence; columns of G
+  // are eigenvectors.
+  std::vector<Complex> g(n * n, Complex{});
+  for (std::size_t i = 0; i < n; ++i) g[i * n + i] = 1.0;
+
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += std::norm(a[p * n + q]);
+    }
+    if (off < 1e-28) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const Complex apq = a[p * n + q];
+        const double r = std::abs(apq);
+        if (r < 1e-300) continue;
+        // Phase column q so the pivot becomes real.
+        const Complex u = std::conj(apq) / r;
+        for (std::size_t i = 0; i < n; ++i) {
+          a[i * n + q] *= u;
+          a[q * n + i] *= std::conj(u);
+          g[i * n + q] *= u;
+        }
+        // Real Jacobi rotation zeroing the (now real) pivot.
+        const double app = a[p * n + p].real();
+        const double aqq = a[q * n + q].real();
+        const double tau = (aqq - app) / (2.0 * r);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        for (std::size_t i = 0; i < n; ++i) {
+          const Complex aip = a[i * n + p];
+          const Complex aiq = a[i * n + q];
+          a[i * n + p] = c * aip - s * aiq;
+          a[i * n + q] = s * aip + c * aiq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const Complex api = a[p * n + i];
+          const Complex aqi = a[q * n + i];
+          a[p * n + i] = c * api - s * aqi;
+          a[q * n + i] = s * api + c * aqi;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const Complex gip = g[i * n + p];
+          const Complex giq = g[i * n + q];
+          g[i * n + p] = c * gip - s * giq;
+          g[i * n + q] = s * gip + c * giq;
+        }
+      }
+    }
+  }
+
+  // Sort ascending; row k of the result is eigenvector k (column k of G).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return a[i * n + i].real() < a[j * n + j].real();
+  });
+
+  EigenResult result;
+  result.values.resize(n);
+  result.vectors.assign(n * n, Complex{});
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t col = order[k];
+    result.values[k] = a[col * n + col].real();
+    for (std::size_t i = 0; i < n; ++i) result.vectors[k * n + i] = g[i * n + col];
+  }
+  return result;
+}
+
+}  // namespace vpar::paratec

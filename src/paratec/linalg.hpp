@@ -1,0 +1,33 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace vpar::paratec {
+
+using Complex = std::complex<double>;
+
+/// In-place Cholesky factorization of a Hermitian positive-definite n x n
+/// row-major matrix: on return the lower triangle holds L with A = L L^H.
+/// Throws if a pivot is not positive.
+void cholesky(std::vector<Complex>& a, std::size_t n);
+
+/// Rows of `x` (count x m, row-major, leading dimension m) are replaced by
+/// L^{-1} x given the Cholesky factor from cholesky() (forward substitution
+/// across rows). Used for Loewdin-style orthonormalization of band blocks.
+void forward_substitute_rows(const std::vector<Complex>& l, std::size_t n,
+                             Complex* x, std::size_t m);
+
+/// Eigen-decomposition of a Hermitian n x n row-major matrix by cyclic
+/// complex Jacobi rotations. Eigenvalues ascend; `vectors` (row-major, row k
+/// = eigenvector k's expansion coefficients) satisfies
+/// A = V^H diag(w) V in the convention  w_k = sum_ij conj(V[k][i]) A[i][j] V[k][j].
+struct EigenResult {
+  std::vector<double> values;
+  std::vector<Complex> vectors;
+};
+[[nodiscard]] EigenResult hermitian_eigen(std::vector<Complex> a, std::size_t n,
+                                          int sweeps = 30);
+
+}  // namespace vpar::paratec

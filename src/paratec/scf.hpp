@@ -1,0 +1,78 @@
+#pragma once
+
+#include <vector>
+
+#include "paratec/hamiltonian.hpp"
+#include "paratec/solver.hpp"
+
+namespace vpar::paratec {
+
+/// Charge density on this rank's z-plane slab, accumulated from the occupied
+/// bands: n(r) = N^3 sum_b f_b |psi_b(r)|^2 with the convention that
+/// (1/N^3) sum_r n(r) equals the electron count (unit cell volume 1).
+/// Collective: every rank transforms its coefficient share of every band.
+[[nodiscard]] std::vector<double> compute_density(Solver& solver,
+                                                  const std::vector<double>& occupations);
+
+/// Hartree potential of a slab-distributed density: solves
+///   Lap V_H = -4 pi n'   (n' = n - mean(n); the homogeneous background
+/// cancels the G=0 divergence, as in any periodic supercell code)
+/// spectrally via a distributed 3D FFT over the z slabs. Collective.
+[[nodiscard]] std::vector<double> solve_hartree(simrt::Communicator& comm,
+                                                const std::vector<double>& density,
+                                                std::size_t grid_n);
+
+/// LDA exchange (Slater): v_x(r) = -(3 n(r) / pi)^(1/3); negative densities
+/// (mixing artefacts) are clamped to zero.
+[[nodiscard]] std::vector<double> lda_exchange_potential(
+    const std::vector<double>& density);
+
+/// Self-consistent-field driver: builds V_eff = V_ion + V_H + V_xc, runs a
+/// few all-band CG sweeps, recomputes the density and mixes linearly — the
+/// "standard LDA run" structure of PARATEC's benchmark (paper §4.2, which
+/// notes production runs take 20-60 CG steps to converge the charge
+/// density).
+class Scf {
+ public:
+  struct Options {
+    int nbands = 4;
+    double occupation = 2.0;     ///< electrons per band (spin-degenerate)
+    double mixing = 0.3;         ///< linear density mixing factor
+    /// Exchange coupling. The toy supercell has unit volume, so densities
+    /// are O(electrons) rather than the O(0.01 a.u.) of a physical silicon
+    /// cell; full-strength LDA exchange would dominate the toy Hamiltonian
+    /// and destabilize the fixed point. Scaled down to keep the SCF in the
+    /// physically representative regime (Hartree > exchange).
+    double exchange_scale = 0.1;
+    int cg_sweeps_per_scf = 2;   ///< CG iterations between density updates
+    std::uint64_t seed = 1;
+  };
+
+  /// `hamiltonian` supplies the ionic (pseudopotential) part; the SCF adds
+  /// Hartree and exchange on top.
+  Scf(Hamiltonian& hamiltonian, const Options& options);
+
+  /// One SCF cycle; returns the density residual max|n_out - n_in|.
+  double iterate();
+
+  [[nodiscard]] const std::vector<double>& density() const { return density_; }
+  [[nodiscard]] const std::vector<double>& eigenvalues() const {
+    return solver_.eigenvalues();
+  }
+  [[nodiscard]] Solver& solver() { return solver_; }
+
+  /// Electron count from the current density (collective; must equal
+  /// nbands * occupation once a density exists).
+  [[nodiscard]] double electron_count();
+
+ private:
+  Hamiltonian* h_;
+  Options options_;
+  Solver solver_;
+  std::vector<double> v_ion_;    ///< the bare pseudopotential slab
+  std::vector<double> density_;  ///< mixed density, this rank's slab
+  std::vector<double> occupations_;
+  bool have_density_ = false;
+};
+
+}  // namespace vpar::paratec

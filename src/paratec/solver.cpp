@@ -1,0 +1,175 @@
+#include "paratec/solver.hpp"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+
+#include "blas/blas.hpp"
+
+namespace vpar::paratec {
+
+namespace {
+
+/// SplitMix64: cheap deterministic hash of the global coefficient index, so
+/// initialization is independent of the processor decomposition.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double unit_double(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0) - 0.5;
+}
+
+}  // namespace
+
+Solver::Solver(Hamiltonian& hamiltonian, int nbands, std::uint64_t seed)
+    : h_(&hamiltonian), nbands_(nbands), seed_(seed),
+      nloc_(hamiltonian.local_coeffs()),
+      psi_(static_cast<std::size_t>(nbands) * nloc_),
+      hpsi_(psi_.size()), values_(static_cast<std::size_t>(nbands), 0.0) {}
+
+void Solver::init_random() {
+  const auto& basis = h_->basis();
+  const auto& layout = h_->layout();
+  const int rank = h_->comm().rank();
+  for (int b = 0; b < nbands_; ++b) {
+    Complex* row = psi_.data() + static_cast<std::size_t>(b) * nloc_;
+    for (std::size_t c : layout.columns_of(rank)) {
+      const auto& col = basis.columns()[c];
+      const std::size_t base = layout.local_offset(c);
+      for (std::size_t m = 0; m < col.gz.size(); ++m) {
+        const std::uint64_t g = col.offset + m;
+        const std::uint64_t key =
+            (g * static_cast<std::uint64_t>(nbands_) + static_cast<std::uint64_t>(b)) ^
+            seed_;
+        row[base + m] = Complex(unit_double(splitmix64(key)),
+                                unit_double(splitmix64(key ^ 0xabcdef1234567890ULL)));
+      }
+    }
+  }
+  orthonormalize();
+}
+
+Complex Solver::inner(std::span<const Complex> a, std::span<const Complex> b) {
+  Complex local = blas::dotc(a, b);
+  std::array<double, 2> parts{local.real(), local.imag()};
+  h_->comm().allreduce_inplace(std::span<double>(parts), simrt::ReduceOp::Sum);
+  return Complex(parts[0], parts[1]);
+}
+
+void Solver::orthonormalize() {
+  const auto nb = static_cast<std::size_t>(nbands_);
+  // T[i][j] = sum_g psi_i conj(psi_j): Hermitian overlap (swapped-bra
+  // convention; PSD either way).
+  std::vector<Complex> t(nb * nb);
+  blas::gemm(blas::Trans::None, blas::Trans::ConjTranspose, nb, nb, nloc_,
+             Complex(1.0), psi_.data(), nloc_, psi_.data(), nloc_, Complex(0.0),
+             t.data(), nb);
+  h_->comm().allreduce_inplace(
+      std::span<double>(reinterpret_cast<double*>(t.data()), 2 * t.size()),
+      simrt::ReduceOp::Sum);
+  cholesky(t, nb);
+  forward_substitute_rows(t, nb, psi_.data(), nloc_);
+}
+
+void Solver::band_sweep() {
+  const auto nb = static_cast<std::size_t>(nbands_);
+  std::vector<Complex> hpsi(nloc_), resid(nloc_), hd(nloc_);
+
+  for (std::size_t b = 0; b < nb; ++b) {
+    auto psi_b = band(static_cast<int>(b));
+    h_->apply(psi_b, hpsi);
+    const double lam = inner(psi_b, hpsi).real();
+
+    // Residual, projected against every band (keeps the block independent).
+    for (std::size_t i = 0; i < nloc_; ++i) resid[i] = hpsi[i] - lam * psi_b[i];
+    for (std::size_t j = 0; j < nb; ++j) {
+      auto psi_j = band(static_cast<int>(j));
+      const Complex proj = inner(psi_j, resid);
+      blas::axpy(-proj, psi_j, std::span<Complex>(resid));
+    }
+
+    const double rnorm2 = inner(resid, resid).real();
+    if (rnorm2 < 1e-24) continue;
+    const double inv = 1.0 / std::sqrt(rnorm2);
+    blas::scal(Complex(inv), std::span<Complex>(resid));
+
+    // Exact line search over psi' = cos(theta) psi + sin(theta) d.
+    h_->apply(resid, hd);
+    const double add = inner(resid, hd).real();
+    const double cross = inner(psi_b, hd).real();
+    const double theta0 = 0.5 * std::atan2(2.0 * cross, lam - add);
+    auto energy_at = [&](double theta) {
+      const double ct = std::cos(theta), st = std::sin(theta);
+      return lam * ct * ct + add * st * st + 2.0 * cross * st * ct;
+    };
+    double theta = theta0;
+    if (energy_at(theta0 + 0.5 * std::numbers::pi) < energy_at(theta0)) {
+      theta = theta0 + 0.5 * std::numbers::pi;
+    }
+    const double ct = std::cos(theta), st = std::sin(theta);
+    for (std::size_t i = 0; i < nloc_; ++i) {
+      psi_b[i] = ct * psi_b[i] + st * resid[i];
+    }
+    perf::LoopRecord rec;
+    rec.vectorizable = true;
+    rec.instances = 1.0;
+    rec.trips = static_cast<double>(nloc_);
+    rec.flops_per_trip = 8.0;
+    rec.bytes_per_trip = 3.0 * sizeof(Complex);
+    rec.access = perf::AccessPattern::Stream;
+    perf::record_loop("handwritten_f90", rec);
+  }
+}
+
+void Solver::rayleigh_ritz() {
+  const auto nb = static_cast<std::size_t>(nbands_);
+  std::vector<Complex> hrow(nloc_);
+  for (std::size_t b = 0; b < nb; ++b) {
+    h_->apply(band(static_cast<int>(b)), hrow);
+    std::copy(hrow.begin(), hrow.end(), hpsi_.begin() + b * nloc_);
+  }
+
+  // M[i][j] = <psi_i|H|psi_j> = conj( sum_p psi_i[p] conj(hpsi_j[p]) ).
+  std::vector<Complex> m(nb * nb);
+  blas::gemm(blas::Trans::None, blas::Trans::ConjTranspose, nb, nb, nloc_,
+             Complex(1.0), psi_.data(), nloc_, hpsi_.data(), nloc_, Complex(0.0),
+             m.data(), nb);
+  for (auto& v : m) v = std::conj(v);
+  h_->comm().allreduce_inplace(
+      std::span<double>(reinterpret_cast<double*>(m.data()), 2 * m.size()),
+      simrt::ReduceOp::Sum);
+  // Symmetrize against round-off.
+  for (std::size_t i = 0; i < nb; ++i) {
+    for (std::size_t j = i + 1; j < nb; ++j) {
+      const Complex avg = 0.5 * (m[i * nb + j] + std::conj(m[j * nb + i]));
+      m[i * nb + j] = avg;
+      m[j * nb + i] = std::conj(avg);
+    }
+    m[i * nb + i] = m[i * nb + i].real();
+  }
+
+  const auto eig = hermitian_eigen(std::move(m), nb);
+  values_ = eig.values;
+
+  // Rotate the band block: psi_new = V psi.
+  std::vector<Complex> rotated(psi_.size());
+  blas::gemm(blas::Trans::None, blas::Trans::None, nb, nloc_, nb, Complex(1.0),
+             eig.vectors.data(), nb, psi_.data(), nloc_, Complex(0.0),
+             rotated.data(), nloc_);
+  psi_ = std::move(rotated);
+}
+
+double Solver::iterate() {
+  band_sweep();
+  orthonormalize();
+  rayleigh_ritz();
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum;
+}
+
+}  // namespace vpar::paratec

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "arch/machine_model.hpp"
+
+namespace vpar::paratec {
+
+/// One cell of the paper's Table 4: a 432- or 686-atom silicon bulk system,
+/// standard LDA, 25 Ry cutoff, 3 CG steps (set-up excluded, as the paper
+/// subtracts it).
+struct Table4Config {
+  int atoms = 432;
+  int procs = 32;
+  int cg_steps = 3;
+  bool multiple_ffts = true;  ///< simultaneous-1D-FFT vectorization (the ES/X1
+                              ///< port); false = looped vendor-style 1D FFTs
+};
+
+/// Derived problem dimensions for an `atoms`-atom Si bulk system at 25 Ry.
+struct ProblemSize {
+  double npw = 0.0;     ///< plane waves per band
+  double nbands = 0.0;  ///< occupied bands (2 per Si atom)
+  double grid_n = 0.0;  ///< FFT grid points per dimension
+  double ncols = 0.0;   ///< G-sphere columns
+};
+[[nodiscard]] ProblemSize problem_size(int atoms);
+
+/// Synthesize the per-rank AppProfile at paper scale: BLAS3 subspace blocks,
+/// batched 3D FFTs with the sphere-aware global transpose, hand-written F90
+/// streams, and the all-to-all communication whose bisection demand drives
+/// the paper's scaling story.
+[[nodiscard]] arch::AppProfile make_profile(const Table4Config& config);
+
+[[nodiscard]] double baseline_flops(const Table4Config& config);
+
+}  // namespace vpar::paratec

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace vpar::perf {
+
+/// Communication categories with distinct cost models on the studied
+/// interconnects. AllToAll is the bisection-limited global transpose pattern
+/// (PARATEC's 3D FFT); PointToPoint is nearest-neighbour halo exchange;
+/// OneSided is the CAF co-array path (no matching, no intermediate copies).
+enum class CommKind : std::size_t {
+  PointToPoint = 0,
+  AllToAll,
+  Reduction,
+  Broadcast,
+  Barrier,
+  OneSided,
+  kCount,
+};
+
+/// Aggregate message counts and byte volumes per communication kind for one
+/// rank. The network models convert these into time for a given platform.
+class CommProfile {
+ public:
+  void record(CommKind kind, double messages, double bytes) {
+    auto& b = buckets_[static_cast<std::size_t>(kind)];
+    b.messages += messages;
+    b.bytes += bytes;
+  }
+
+  [[nodiscard]] double messages(CommKind kind) const {
+    return buckets_[static_cast<std::size_t>(kind)].messages;
+  }
+  [[nodiscard]] double bytes(CommKind kind) const {
+    return buckets_[static_cast<std::size_t>(kind)].bytes;
+  }
+
+  [[nodiscard]] double total_bytes() const {
+    double sum = 0.0;
+    for (const auto& b : buckets_) sum += b.bytes;
+    return sum;
+  }
+  [[nodiscard]] double total_messages() const {
+    double sum = 0.0;
+    for (const auto& b : buckets_) sum += b.messages;
+    return sum;
+  }
+
+  void merge(const CommProfile& other) {
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i].messages += other.buckets_[i].messages;
+      buckets_[i].bytes += other.buckets_[i].bytes;
+    }
+  }
+
+  /// Profile with all extensive quantities multiplied by `factor`.
+  [[nodiscard]] CommProfile scaled(double factor) const {
+    CommProfile out = *this;
+    for (auto& b : out.buckets_) {
+      b.messages *= factor;
+      b.bytes *= factor;
+    }
+    return out;
+  }
+
+  void clear() { buckets_ = {}; }
+
+ private:
+  struct Bucket {
+    double messages = 0.0;
+    double bytes = 0.0;
+  };
+  std::array<Bucket, static_cast<std::size_t>(CommKind::kCount)> buckets_{};
+};
+
+}  // namespace vpar::perf

@@ -1,0 +1,87 @@
+#include "perf/kernel_profile.hpp"
+
+namespace vpar::perf {
+
+void KernelProfile::record(std::string_view region, const LoopRecord& rec) {
+  auto& records = regions_[std::string(region)];
+  // Coalesce with an existing record of identical shape so that a loop
+  // executed once per timestep produces one record, not thousands.
+  for (auto& existing : records) {
+    if (existing.vectorizable == rec.vectorizable && existing.trips == rec.trips &&
+        existing.flops_per_trip == rec.flops_per_trip &&
+        existing.bytes_per_trip == rec.bytes_per_trip && existing.access == rec.access &&
+        existing.working_set_bytes == rec.working_set_bytes &&
+        existing.compute_derate == rec.compute_derate) {
+      existing.instances += rec.instances;
+      return;
+    }
+  }
+  records.push_back(rec);
+}
+
+void KernelProfile::merge(const KernelProfile& other) {
+  for (const auto& [region, records] : other.regions_) {
+    for (const auto& rec : records) record(region, rec);
+  }
+}
+
+double KernelProfile::total_flops() const {
+  double sum = 0.0;
+  for (const auto& [region, records] : regions_) {
+    for (const auto& rec : records) sum += rec.total_flops();
+  }
+  return sum;
+}
+
+double KernelProfile::total_bytes() const {
+  double sum = 0.0;
+  for (const auto& [region, records] : regions_) {
+    for (const auto& rec : records) sum += rec.total_bytes();
+  }
+  return sum;
+}
+
+double KernelProfile::region_flops(std::string_view region) const {
+  auto it = regions_.find(std::string(region));
+  if (it == regions_.end()) return 0.0;
+  double sum = 0.0;
+  for (const auto& rec : it->second) sum += rec.total_flops();
+  return sum;
+}
+
+std::vector<LoopRecord> KernelProfile::all_records() const {
+  std::vector<LoopRecord> out;
+  for (const auto& [region, records] : regions_) {
+    out.insert(out.end(), records.begin(), records.end());
+  }
+  return out;
+}
+
+KernelProfile KernelProfile::scaled(double factor) const {
+  KernelProfile out;
+  for (const auto& [region, records] : regions_) {
+    for (const auto& rec : records) out.record(region, rec.scaled_instances(factor));
+  }
+  return out;
+}
+
+VectorStats compute_vector_stats(const KernelProfile& profile, unsigned vl) {
+  double vector_element_ops = 0.0;
+  double vector_instructions = 0.0;
+  double scalar_ops = 0.0;
+  for (const auto& rec : profile.all_records()) {
+    if (rec.vectorizable) {
+      vector_element_ops += rec.total_flops();
+      vector_instructions += rec.vector_instructions(vl);
+    } else {
+      scalar_ops += rec.total_flops();
+    }
+  }
+  VectorStats stats;
+  const double total = vector_element_ops + scalar_ops;
+  stats.vor = total > 0.0 ? vector_element_ops / total : 0.0;
+  stats.avl = vector_instructions > 0.0 ? vector_element_ops / vector_instructions : 0.0;
+  return stats;
+}
+
+}  // namespace vpar::perf

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "perf/loop_record.hpp"
+
+namespace vpar::perf {
+
+/// Collection of LoopRecords grouped by named region ("collision", "stream",
+/// "fft1d", "boundary", ...). A region keeps its records separate rather than
+/// summed because AVL depends on the distribution of trip counts, not only on
+/// totals.
+class KernelProfile {
+ public:
+  void record(std::string_view region, const LoopRecord& rec);
+
+  /// Merge all regions of `other` into this profile.
+  void merge(const KernelProfile& other);
+
+  [[nodiscard]] const std::map<std::string, std::vector<LoopRecord>>& regions() const {
+    return regions_;
+  }
+
+  [[nodiscard]] bool empty() const { return regions_.empty(); }
+
+  [[nodiscard]] double total_flops() const;
+  [[nodiscard]] double total_bytes() const;
+  [[nodiscard]] double region_flops(std::string_view region) const;
+
+  /// All records across all regions, flattened.
+  [[nodiscard]] std::vector<LoopRecord> all_records() const;
+
+  /// Profile with every record's instance count multiplied by `factor`.
+  [[nodiscard]] KernelProfile scaled(double factor) const;
+
+  void clear() { regions_.clear(); }
+
+ private:
+  std::map<std::string, std::vector<LoopRecord>> regions_;
+};
+
+/// VOR/AVL as the paper defines them, for a machine with max vector length
+/// `vl` (256 on the Earth Simulator, 64 on the X1).
+struct VectorStats {
+  double vor = 0.0;  ///< vector operation ratio in [0,1]
+  double avl = 0.0;  ///< average vector length in [1, vl]
+};
+
+[[nodiscard]] VectorStats compute_vector_stats(const KernelProfile& profile, unsigned vl);
+
+}  // namespace vpar::perf

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace vpar::perf {
+
+/// How a loop nest touches memory; used by the architecture models to derate
+/// effective bandwidth (superscalar caches, vector gather/scatter pipes and
+/// memory-bank behaviour all react differently to these patterns).
+enum class AccessPattern {
+  Stream,   ///< unit-stride reads/writes; prefetchers and vector pipes both happy
+  Strided,  ///< constant non-unit stride; partial cache lines, possible bank conflicts
+  Gather,   ///< indexed/random access (PIC scatter, indirect addressing)
+  Cached,   ///< small working set with heavy reuse (BLAS3 blocks, register tiles)
+};
+
+/// Machine-independent record of one executed loop nest.
+///
+/// Applications record what they *did* (iterations, flops, memory traffic and
+/// whether the inner loop is expressible as a data-parallel/vector loop); the
+/// architecture models later turn these counts into predicted time, VOR and
+/// AVL for a given platform. Counts are doubles because extrapolated
+/// paper-scale workloads overflow 32-bit and exactness is not needed.
+struct LoopRecord {
+  bool vectorizable = true;     ///< inner loop free of loop-carried dependences
+  double instances = 0.0;       ///< number of times the loop nest executed
+  double trips = 0.0;           ///< inner-loop iterations per instance
+  double flops_per_trip = 0.0;  ///< floating-point operations per iteration
+  double bytes_per_trip = 0.0;  ///< DRAM-level traffic per iteration
+  AccessPattern access = AccessPattern::Stream;
+  /// Sustained-compute derate for kernels whose per-point state exceeds the
+  /// register file (the paper attributes Cactus's low scalar performance to
+  /// "register spilling caused by the large number of variables in the main
+  /// loop of the BSSN calculation", §5.2). 1.0 = no derate.
+  double compute_derate = 1.0;
+  /// Bytes the loop revisits across instances (its resident working set).
+  /// Superscalar models promote the loop to cache bandwidth when this fits in
+  /// the last-level cache — the "smaller subdomain, better cache reuse" effect
+  /// the paper observes on Power3/4 at high concurrency. 0 = streaming, no
+  /// reuse assumed.
+  double working_set_bytes = 0.0;
+
+  [[nodiscard]] double total_flops() const { return instances * trips * flops_per_trip; }
+  [[nodiscard]] double total_bytes() const { return instances * trips * bytes_per_trip; }
+
+  /// Vector instructions a machine with maximum vector length `vl` must issue
+  /// to execute this loop (strip-mined), counting one instruction per flop
+  /// per strip. Meaningless for non-vectorizable records.
+  [[nodiscard]] double vector_instructions(unsigned vl) const {
+    if (trips <= 0.0 || vl == 0) return 0.0;
+    return instances * std::ceil(trips / static_cast<double>(vl)) * flops_per_trip;
+  }
+
+  /// Scale every extensive quantity (instances) by `factor`; used when
+  /// extrapolating a measured profile to a larger workload.
+  [[nodiscard]] LoopRecord scaled_instances(double factor) const {
+    LoopRecord r = *this;
+    r.instances *= factor;
+    return r;
+  }
+};
+
+}  // namespace vpar::perf

@@ -1,0 +1,25 @@
+#include "perf/recorder.hpp"
+
+namespace vpar::perf {
+
+namespace {
+thread_local Recorder* t_recorder = nullptr;
+}  // namespace
+
+Recorder* current_recorder() { return t_recorder; }
+
+ScopedRecorder::ScopedRecorder(Recorder& recorder) : previous_(t_recorder) {
+  t_recorder = &recorder;
+}
+
+ScopedRecorder::~ScopedRecorder() { t_recorder = previous_; }
+
+void record_loop(std::string_view region, const LoopRecord& rec) {
+  if (t_recorder != nullptr) t_recorder->kernels().record(region, rec);
+}
+
+void record_comm(CommKind kind, double messages, double bytes) {
+  if (t_recorder != nullptr) t_recorder->comm().record(kind, messages, bytes);
+}
+
+}  // namespace vpar::perf

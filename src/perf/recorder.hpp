@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string_view>
+
+#include "perf/comm_profile.hpp"
+#include "perf/kernel_profile.hpp"
+
+namespace vpar::perf {
+
+/// Per-rank instrumentation sink: one kernel profile plus one communication
+/// profile. The simulated runtime installs a Recorder per rank thread;
+/// application kernels report through the free functions below, which no-op
+/// when no recorder is installed so uninstrumented runs pay nothing.
+class Recorder {
+ public:
+  KernelProfile& kernels() { return kernels_; }
+  CommProfile& comm() { return comm_; }
+  [[nodiscard]] const KernelProfile& kernels() const { return kernels_; }
+  [[nodiscard]] const CommProfile& comm() const { return comm_; }
+
+  void merge(const Recorder& other) {
+    kernels_.merge(other.kernels_);
+    comm_.merge(other.comm_);
+  }
+
+  void clear() {
+    kernels_.clear();
+    comm_.clear();
+  }
+
+ private:
+  KernelProfile kernels_;
+  CommProfile comm_;
+};
+
+/// Currently installed recorder for this thread, or nullptr.
+[[nodiscard]] Recorder* current_recorder();
+
+/// RAII installation of a recorder on the current thread. Nesting restores
+/// the previous recorder on destruction.
+class ScopedRecorder {
+ public:
+  explicit ScopedRecorder(Recorder& recorder);
+  ~ScopedRecorder();
+  ScopedRecorder(const ScopedRecorder&) = delete;
+  ScopedRecorder& operator=(const ScopedRecorder&) = delete;
+
+ private:
+  Recorder* previous_;
+};
+
+/// Report an executed loop nest (no-op without an installed recorder).
+void record_loop(std::string_view region, const LoopRecord& rec);
+
+/// Report a communication event (no-op without an installed recorder).
+void record_comm(CommKind kind, double messages, double bytes);
+
+}  // namespace vpar::perf

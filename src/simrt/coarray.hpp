@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "perf/recorder.hpp"
+#include "simrt/communicator.hpp"
+
+namespace vpar::simrt {
+
+/// Co-array Fortran style one-sided distributed array: every rank ("image")
+/// owns a local block; any image may put() into or get() from any other
+/// image's block directly, with no receive posted on the target. This models
+/// the X1 CAF port of LBMHD: transfers bypass the mailbox path entirely
+/// (no user- or system-level message copies) and are accounted as OneSided
+/// traffic with CAF's lower latency by the network models.
+///
+/// As in CAF, ordering between conflicting accesses is the program's
+/// responsibility; use sync_all() (a barrier) to separate epochs.
+template <typename T>
+class CoArray {
+ public:
+  /// Collective constructor: all ranks must call with the same name. Each
+  /// rank allocates `local_count` elements, zero-initialized.
+  CoArray(Communicator& comm, const std::string& name, std::size_t local_count)
+      : comm_(&comm) {
+    storage_ = comm.shared_object<Storage>("coarray:" + name, [&] {
+      return std::make_shared<Storage>(static_cast<std::size_t>(comm.size()));
+    });
+    (*storage_)[static_cast<std::size_t>(comm.rank())].assign(local_count, T{});
+    comm.state().rendezvous.arrive_and_wait();  // all blocks allocated
+  }
+
+  [[nodiscard]] std::span<T> local() {
+    return std::span<T>((*storage_)[static_cast<std::size_t>(comm_->rank())]);
+  }
+  [[nodiscard]] std::span<const T> local() const {
+    return std::span<const T>((*storage_)[static_cast<std::size_t>(comm_->rank())]);
+  }
+
+  [[nodiscard]] std::size_t local_size() const {
+    return (*storage_)[static_cast<std::size_t>(comm_->rank())].size();
+  }
+
+  /// One-sided write into image `image` at element `offset`.
+  void put(int image, std::size_t offset, std::span<const T> data) {
+    auto& block = remote_block(image);
+    if (offset + data.size() > block.size()) {
+      throw std::runtime_error("CoArray::put out of range");
+    }
+    std::memcpy(block.data() + offset, data.data(), data.size() * sizeof(T));
+    if (image != comm_->rank()) {
+      perf::record_comm(perf::CommKind::OneSided, 1.0,
+                        static_cast<double>(data.size() * sizeof(T)));
+    }
+  }
+
+  /// One-sided read from image `image` starting at element `offset`.
+  void get(int image, std::size_t offset, std::span<T> out) {
+    auto& block = remote_block(image);
+    if (offset + out.size() > block.size()) {
+      throw std::runtime_error("CoArray::get out of range");
+    }
+    std::memcpy(out.data(), block.data() + offset, out.size() * sizeof(T));
+    if (image != comm_->rank()) {
+      perf::record_comm(perf::CommKind::OneSided, 1.0,
+                        static_cast<double>(out.size() * sizeof(T)));
+    }
+  }
+
+  /// Barrier separating one-sided access epochs (CAF sync all).
+  void sync_all() {
+    comm_->state().rendezvous.arrive_and_wait();
+    perf::record_comm(perf::CommKind::Barrier, 1.0, 0.0);
+  }
+
+ private:
+  using Storage = std::vector<std::vector<T>>;
+
+  std::vector<T>& remote_block(int image) {
+    if (image < 0 || image >= comm_->size()) {
+      throw std::runtime_error("CoArray: bad image index");
+    }
+    return (*storage_)[static_cast<std::size_t>(image)];
+  }
+
+  Communicator* comm_;
+  std::shared_ptr<Storage> storage_;
+};
+
+}  // namespace vpar::simrt

@@ -1,0 +1,28 @@
+#include "simrt/communicator.hpp"
+
+namespace vpar::simrt {
+
+void Communicator::send_bytes(int dest, std::span<const std::byte> data, int tag) {
+  if (dest < 0 || dest >= size()) throw std::runtime_error("send: bad destination rank");
+  Message msg;
+  msg.source = rank_;
+  msg.tag = tag;
+  msg.payload.assign(data.begin(), data.end());
+  state_->mailboxes[static_cast<std::size_t>(dest)].deliver(std::move(msg));
+  perf::record_comm(perf::CommKind::PointToPoint, 1.0, static_cast<double>(data.size()));
+}
+
+void Communicator::recv_bytes(int source, std::span<std::byte> data, int tag) {
+  Message msg = state_->mailboxes[static_cast<std::size_t>(rank_)].receive(source, tag);
+  if (msg.payload.size() != data.size()) {
+    throw std::runtime_error("recv: payload size mismatch");
+  }
+  std::memcpy(data.data(), msg.payload.data(), data.size());
+}
+
+void Communicator::barrier() {
+  state_->rendezvous.arrive_and_wait();
+  perf::record_comm(perf::CommKind::Barrier, 1.0, 0.0);
+}
+
+}  // namespace vpar::simrt

@@ -1,0 +1,226 @@
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "perf/recorder.hpp"
+#include "simrt/mailbox.hpp"
+#include "simrt/rendezvous.hpp"
+
+namespace vpar::simrt {
+
+/// Reduction operations supported by allreduce.
+enum class ReduceOp { Sum, Max, Min };
+
+/// Shared state of one simulated parallel job.
+struct RuntimeState {
+  explicit RuntimeState(int size_in)
+      : size(size_in),
+        mailboxes(static_cast<std::size_t>(size_in)),
+        rendezvous(size_in),
+        recorders(static_cast<std::size_t>(size_in)) {}
+
+  int size;
+  std::vector<Mailbox> mailboxes;
+  Rendezvous rendezvous;
+  std::mutex registry_mutex;
+  std::map<std::string, std::shared_ptr<void>> registry;
+  std::vector<perf::Recorder> recorders;
+};
+
+/// MPI-flavoured communicator bound to one rank of a simulated job. All
+/// blocking semantics are those of buffered MPI sends: send() copies the
+/// payload and returns immediately; recv() blocks until a matching message
+/// arrives. Every operation reports its volume to the installed
+/// perf::Recorder so network models can cost the run afterwards.
+class Communicator {
+ public:
+  Communicator(RuntimeState& state, int rank) : state_(&state), rank_(rank) {}
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return state_->size; }
+
+  // --- point to point -----------------------------------------------------
+
+  void send_bytes(int dest, std::span<const std::byte> data, int tag);
+  void recv_bytes(int source, std::span<std::byte> data, int tag);
+
+  template <typename T>
+  void send(int dest, std::span<const T> data, int tag) {
+    send_bytes(dest, std::as_bytes(data), tag);
+  }
+  template <typename T>
+  void recv(int source, std::span<T> data, int tag) {
+    recv_bytes(source, std::as_writable_bytes(data), tag);
+  }
+
+  /// Exchange: send to `dest` and receive from `source` with the same tag.
+  /// Never deadlocks because sends are buffered.
+  template <typename T>
+  void sendrecv(int dest, std::span<const T> send_data, int source,
+                std::span<T> recv_data, int tag) {
+    send(dest, send_data, tag);
+    recv(source, recv_data, tag);
+  }
+
+  // --- collectives ----------------------------------------------------------
+
+  void barrier();
+
+  template <typename T>
+  [[nodiscard]] T allreduce(T value, ReduceOp op) {
+    T result = value;
+    allreduce_inplace(std::span<T>(&result, 1), op);
+    return result;
+  }
+
+  /// Element-wise reduction of equal-length buffers across all ranks;
+  /// every rank receives the reduced vector in place.
+  template <typename T>
+  void allreduce_inplace(std::span<T> values, ReduceOp op) {
+    std::vector<T> scratch(values.begin(), values.end());
+    state_->rendezvous.post(rank_, scratch.data());
+    state_->rendezvous.arrive_and_wait();
+    auto slots = state_->rendezvous.slots();
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      T acc = static_cast<const T*>(slots[0])[i];
+      for (int r = 1; r < size(); ++r) {
+        const T v = static_cast<const T*>(slots[static_cast<std::size_t>(r)])[i];
+        acc = apply(acc, v, op);
+      }
+      values[i] = acc;
+    }
+    state_->rendezvous.arrive_and_wait();
+    const double bytes = static_cast<double>(values.size() * sizeof(T));
+    perf::record_comm(perf::CommKind::Reduction, log2ceil(size()), bytes * log2ceil(size()));
+  }
+
+  template <typename T>
+  void broadcast(std::span<T> values, int root) {
+    state_->rendezvous.post(rank_, values.data());
+    state_->rendezvous.arrive_and_wait();
+    if (rank_ != root) {
+      const auto* src = static_cast<const T*>(
+          state_->rendezvous.slots()[static_cast<std::size_t>(root)]);
+      std::memcpy(values.data(), src, values.size() * sizeof(T));
+    }
+    state_->rendezvous.arrive_and_wait();
+    if (rank_ == root) {
+      perf::record_comm(perf::CommKind::Broadcast, log2ceil(size()),
+                        static_cast<double>(values.size() * sizeof(T)) * log2ceil(size()));
+    }
+  }
+
+  /// Gather equal-size contributions; on `root`, `out` must hold size()*n
+  /// elements and receives rank-ordered data. On other ranks `out` is ignored.
+  template <typename T>
+  void gather(std::span<const T> contribution, std::span<T> out, int root) {
+    Slot slot{const_cast<T*>(contribution.data()), contribution.size()};
+    state_->rendezvous.post(rank_, &slot);
+    state_->rendezvous.arrive_and_wait();
+    if (rank_ == root) {
+      std::size_t offset = 0;
+      for (int r = 0; r < size(); ++r) {
+        const auto* s = static_cast<const Slot*>(
+            state_->rendezvous.slots()[static_cast<std::size_t>(r)]);
+        if (offset + s->count > out.size()) {
+          throw std::runtime_error("gather: output buffer too small");
+        }
+        std::memcpy(out.data() + offset, s->pointer, s->count * sizeof(T));
+        offset += s->count;
+      }
+    } else {
+      perf::record_comm(perf::CommKind::PointToPoint, 1.0,
+                        static_cast<double>(contribution.size() * sizeof(T)));
+    }
+    state_->rendezvous.arrive_and_wait();
+  }
+
+  /// Personalized all-to-all: `outboxes[d]` is this rank's data for rank `d`;
+  /// the return value's element `s` holds the data rank `s` sent to this
+  /// rank. This is the global-transpose pattern of the distributed 3D FFT.
+  template <typename T>
+  [[nodiscard]] std::vector<std::vector<T>> alltoallv(
+      const std::vector<std::vector<T>>& outboxes) {
+    if (static_cast<int>(outboxes.size()) != size()) {
+      throw std::runtime_error("alltoallv: need one outbox per rank");
+    }
+    state_->rendezvous.post(rank_, const_cast<std::vector<std::vector<T>>*>(&outboxes));
+    state_->rendezvous.arrive_and_wait();
+    std::vector<std::vector<T>> inboxes(static_cast<std::size_t>(size()));
+    double bytes = 0.0;
+    for (int s = 0; s < size(); ++s) {
+      const auto* their = static_cast<const std::vector<std::vector<T>>*>(
+          state_->rendezvous.slots()[static_cast<std::size_t>(s)]);
+      inboxes[static_cast<std::size_t>(s)] = (*their)[static_cast<std::size_t>(rank_)];
+      if (s != rank_) {
+        bytes += static_cast<double>(outboxes[static_cast<std::size_t>(s)].size() * sizeof(T));
+      }
+    }
+    state_->rendezvous.arrive_and_wait();
+    // One collective operation; the network model charges log-depth latency.
+    perf::record_comm(perf::CommKind::AllToAll, 1.0, bytes);
+    return inboxes;
+  }
+
+  // --- registry (used by CoArray and other collective objects) -------------
+
+  /// Find-or-create a named shared object; `make` runs exactly once across
+  /// the job. All ranks must call with the same name concurrently.
+  template <typename T>
+  std::shared_ptr<T> shared_object(const std::string& name,
+                                   const std::function<std::shared_ptr<T>()>& make) {
+    std::shared_ptr<T> object;
+    {
+      std::lock_guard lock(state_->registry_mutex);
+      auto it = state_->registry.find(name);
+      if (it == state_->registry.end()) {
+        object = make();
+        state_->registry[name] = object;
+      } else {
+        object = std::static_pointer_cast<T>(it->second);
+      }
+    }
+    return object;
+  }
+
+  [[nodiscard]] RuntimeState& state() { return *state_; }
+
+ private:
+  struct Slot {
+    void* pointer;
+    std::size_t count;
+  };
+
+  template <typename T>
+  static T apply(T a, T b, ReduceOp op) {
+    switch (op) {
+      case ReduceOp::Sum: return a + b;
+      case ReduceOp::Max: return a > b ? a : b;
+      case ReduceOp::Min: return a < b ? a : b;
+    }
+    return a;
+  }
+
+  static double log2ceil(int n) {
+    double steps = 0.0;
+    int v = 1;
+    while (v < n) {
+      v *= 2;
+      steps += 1.0;
+    }
+    return steps > 0.0 ? steps : 1.0;
+  }
+
+  RuntimeState* state_;
+  int rank_;
+};
+
+}  // namespace vpar::simrt

@@ -1,0 +1,35 @@
+#include "simrt/mailbox.hpp"
+
+#include <algorithm>
+
+namespace vpar::simrt {
+
+void Mailbox::deliver(Message msg) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::receive(int source, int tag) {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    auto it = std::find_if(queue_.begin(), queue_.end(),
+                           [&](const Message& m) { return matches(m, source, tag); });
+    if (it != queue_.end()) {
+      Message msg = std::move(*it);
+      queue_.erase(it);
+      return msg;
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool Mailbox::probe(int source, int tag) {
+  std::lock_guard lock(mutex_);
+  return std::any_of(queue_.begin(), queue_.end(),
+                     [&](const Message& m) { return matches(m, source, tag); });
+}
+
+}  // namespace vpar::simrt

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace vpar::simrt {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// One in-flight message: payload plus (source, tag) matching metadata.
+struct Message {
+  int source = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Per-rank inbound message queue with MPI-style (source, tag) matching:
+/// a receive matches the *oldest* queued message whose source and tag are
+/// compatible, preserving the MPI non-overtaking guarantee between any
+/// (sender, receiver, tag) triple.
+class Mailbox {
+ public:
+  /// Enqueue a message (called from the sender's thread).
+  void deliver(Message msg);
+
+  /// Block until a message matching (source, tag) is available and return it.
+  /// `source`/`tag` may be kAnySource/kAnyTag wildcards.
+  [[nodiscard]] Message receive(int source, int tag);
+
+  /// Non-blocking probe: true if a matching message is queued.
+  [[nodiscard]] bool probe(int source, int tag);
+
+ private:
+  [[nodiscard]] bool matches(const Message& msg, int source, int tag) const {
+    return (source == kAnySource || msg.source == source) &&
+           (tag == kAnyTag || msg.tag == tag);
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace vpar::simrt

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace vpar::simrt {
+
+/// Reusable rendezvous primitive backing every collective in the runtime:
+/// a generation-counted barrier plus a per-rank slot array through which
+/// ranks expose pointers to their contribution.
+///
+/// Collectives follow the pattern
+///   post(rank, &args); arrive_and_wait();   // all slots visible
+///   ... read other ranks' slots, do this rank's share ...
+///   arrive_and_wait();                      // safe to invalidate args
+/// The two barriers make consecutive collectives race-free: nobody can post
+/// into generation g+1 until every rank has finished its share of g.
+class Rendezvous {
+ public:
+  explicit Rendezvous(int size) : slots_(static_cast<std::size_t>(size)), size_(size) {}
+
+  /// Publish this rank's contribution pointer for the upcoming phase.
+  void post(int rank, void* pointer) {
+    std::lock_guard lock(mutex_);
+    slots_[static_cast<std::size_t>(rank)] = pointer;
+  }
+
+  /// All slot pointers; valid between the two barriers of a collective.
+  [[nodiscard]] std::span<void* const> slots() const { return slots_; }
+
+  /// Generation-counted reusable barrier.
+  void arrive_and_wait() {
+    std::unique_lock lock(mutex_);
+    const std::uint64_t my_generation = generation_;
+    if (++arrived_ == size_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return generation_ != my_generation; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<void*> slots_;
+  int size_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace vpar::simrt

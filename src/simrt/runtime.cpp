@@ -1,0 +1,43 @@
+#include "simrt/runtime.hpp"
+
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace vpar::simrt {
+
+RunResult run(int size, const std::function<void(Communicator&)>& body) {
+  if (size <= 0) throw std::runtime_error("simrt::run: size must be positive");
+
+  RuntimeState state(size);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size));
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  for (int rank = 0; rank < size; ++rank) {
+    threads.emplace_back([&, rank] {
+      perf::ScopedRecorder scoped(state.recorders[static_cast<std::size_t>(rank)]);
+      Communicator comm(state, rank);
+      try {
+        body(comm);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        // A dead rank would deadlock peers waiting in barriers/receives;
+        // there is no clean recovery, so peers relying on this rank will
+        // hang only if the test itself is broken. We still join below.
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  RunResult result;
+  result.per_rank = std::move(state.recorders);
+  for (const auto& r : result.per_rank) result.merged.merge(r);
+  return result;
+}
+
+}  // namespace vpar::simrt

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "perf/recorder.hpp"
+#include "simrt/communicator.hpp"
+
+namespace vpar::simrt {
+
+/// Result of one simulated parallel job: instrumentation merged across ranks
+/// plus the per-rank profiles (needed for load-imbalance analysis).
+struct RunResult {
+  perf::Recorder merged;
+  std::vector<perf::Recorder> per_rank;
+
+  [[nodiscard]] int size() const { return static_cast<int>(per_rank.size()); }
+};
+
+/// Run `body` as an SPMD job on `size` ranks, one OS thread per rank, with a
+/// perf::Recorder installed on every rank. Exceptions thrown by any rank are
+/// rethrown (first one wins) after all ranks have been joined.
+RunResult run(int size, const std::function<void(Communicator&)>& body);
+
+}  // namespace vpar::simrt

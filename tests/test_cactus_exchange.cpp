@@ -1,0 +1,160 @@
+// Focused tests of the 3D ghost exchange and the radiation-boundary point
+// coverage (paper Figure 6: ghost zones on the faces of topological
+// neighbours).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cactus/boundary.hpp"
+#include "cactus/exchange3d.hpp"
+#include "cactus/adm.hpp"
+#include "cactus/grid.hpp"
+#include "simrt/runtime.hpp"
+
+namespace vpar::cactus {
+namespace {
+
+constexpr int G = GridFunctions::kGhost;
+
+/// Unique fingerprint of global cell (gx, gy, gz) for field f.
+double fingerprint(int f, std::size_t gx, std::size_t gy, std::size_t gz) {
+  return static_cast<double>(f) * 1.0e9 + static_cast<double>(gx) * 1.0e6 +
+         static_cast<double>(gy) * 1.0e3 + static_cast<double>(gz);
+}
+
+class ExchangeGrids
+    : public ::testing::TestWithParam<std::tuple<int, int, int, bool>> {};
+
+TEST_P(ExchangeGrids, GhostsCarryNeighbourData) {
+  const auto [px, py, pz, periodic] = GetParam();
+  const int procs = px * py * pz;
+  constexpr std::size_t nx = 8, ny = 8, nz = 8;
+
+  simrt::run(procs, [&, px = px, py = py, pz = pz, periodic = periodic](
+                        simrt::Communicator& comm) {
+    const Decomp3D d(nx, ny, nz, px, py, pz, comm.rank(), periodic);
+    GridFunctions gf(3, d.nl[0], d.nl[1], d.nl[2]);
+
+    // Fill the interior with global fingerprints.
+    for (int f = 0; f < 3; ++f) {
+      for (std::size_t k = 0; k < d.nl[2]; ++k) {
+        for (std::size_t j = 0; j < d.nl[1]; ++j) {
+          for (std::size_t i = 0; i < d.nl[0]; ++i) {
+            gf.field(f)[gf.at(static_cast<std::ptrdiff_t>(k),
+                              static_cast<std::ptrdiff_t>(j),
+                              static_cast<std::ptrdiff_t>(i))] =
+                fingerprint(f, d.origin(0) + i, d.origin(1) + j, d.origin(2) + k);
+          }
+        }
+      }
+    }
+    exchange_ghosts(comm, d, gf);
+
+    // Every ghost cell whose global position exists (or wraps) must hold the
+    // fingerprint of the mapped global cell — including edge and corner
+    // ghosts, which the three-sweep scheme must carry.
+    auto wrap = [&](std::ptrdiff_t g, int axis) -> std::ptrdiff_t {
+      const auto n = static_cast<std::ptrdiff_t>(d.n[axis]);
+      if (periodic) return ((g % n) + n) % n;
+      return g;  // non-periodic: caller checks bounds
+    };
+    for (int f = 0; f < 3; ++f) {
+      for (std::ptrdiff_t k = -G; k < static_cast<std::ptrdiff_t>(d.nl[2]) + G; ++k) {
+        for (std::ptrdiff_t j = -G; j < static_cast<std::ptrdiff_t>(d.nl[1]) + G;
+             ++j) {
+          for (std::ptrdiff_t i = -G;
+               i < static_cast<std::ptrdiff_t>(d.nl[0]) + G; ++i) {
+            const bool interior =
+                i >= 0 && i < static_cast<std::ptrdiff_t>(d.nl[0]) && j >= 0 &&
+                j < static_cast<std::ptrdiff_t>(d.nl[1]) && k >= 0 &&
+                k < static_cast<std::ptrdiff_t>(d.nl[2]);
+            if (interior) continue;
+            std::ptrdiff_t gx = static_cast<std::ptrdiff_t>(d.origin(0)) + i;
+            std::ptrdiff_t gy = static_cast<std::ptrdiff_t>(d.origin(1)) + j;
+            std::ptrdiff_t gz = static_cast<std::ptrdiff_t>(d.origin(2)) + k;
+            if (!periodic) {
+              // Outside the global domain: untouched, skip.
+              if (gx < 0 || gx >= static_cast<std::ptrdiff_t>(d.n[0]) || gy < 0 ||
+                  gy >= static_cast<std::ptrdiff_t>(d.n[1]) || gz < 0 ||
+                  gz >= static_cast<std::ptrdiff_t>(d.n[2])) {
+                continue;
+              }
+            } else {
+              gx = wrap(gx, 0);
+              gy = wrap(gy, 1);
+              gz = wrap(gz, 2);
+            }
+            EXPECT_DOUBLE_EQ(
+                gf.field(f)[gf.at(k, j, i)],
+                fingerprint(f, static_cast<std::size_t>(gx),
+                            static_cast<std::size_t>(gy),
+                            static_cast<std::size_t>(gz)))
+                << "f=" << f << " ghost (" << i << "," << j << "," << k
+                << ") rank " << comm.rank();
+          }
+        }
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Decompositions, ExchangeGrids,
+    ::testing::Values(std::tuple{1, 1, 1, true}, std::tuple{2, 1, 1, true},
+                      std::tuple{2, 2, 1, true}, std::tuple{2, 2, 2, true},
+                      std::tuple{1, 2, 2, false}, std::tuple{2, 2, 2, false}));
+
+TEST(Boundary, ScalarAndVectorizedCoverIdenticalPointSets) {
+  // Counting variant: set dst = src + dt*rhs with dt = 0 makes the update a
+  // copy; instead mark coverage by initializing dst to a sentinel and
+  // checking which cells each variant writes.
+  simrt::run(2, [](simrt::Communicator& comm) {
+    const Decomp3D d(8, 8, 8, 2, 1, 1, comm.rank(), /*periodic=*/false);
+    GridFunctions src(kNumFields, d.nl[0], d.nl[1], d.nl[2]);
+    src.fill(1.0);
+
+    auto coverage = [&](BoundaryVariant variant) {
+      GridFunctions dst(kNumFields, d.nl[0], d.nl[1], d.nl[2]);
+      dst.fill(-777.0);
+      apply_radiation_boundary(d, src, dst, 0.5, 0.1, variant);
+      std::vector<bool> written;
+      for (std::size_t k = 0; k < d.nl[2]; ++k) {
+        for (std::size_t j = 0; j < d.nl[1]; ++j) {
+          for (std::size_t i = 0; i < d.nl[0]; ++i) {
+            written.push_back(dst.field(0)[dst.at(
+                                  static_cast<std::ptrdiff_t>(k),
+                                  static_cast<std::ptrdiff_t>(j),
+                                  static_cast<std::ptrdiff_t>(i))] != -777.0);
+          }
+        }
+      }
+      return written;
+    };
+
+    const auto scalar = coverage(BoundaryVariant::Scalar);
+    const auto vectorized = coverage(BoundaryVariant::Vectorized);
+    ASSERT_EQ(scalar.size(), vectorized.size());
+    std::size_t boundary_points = 0;
+    for (std::size_t i = 0; i < scalar.size(); ++i) {
+      EXPECT_EQ(scalar[i], vectorized[i]) << "cell " << i;
+      boundary_points += scalar[i] ? 1 : 0;
+    }
+    EXPECT_GT(boundary_points, 0u);
+    EXPECT_LT(boundary_points, scalar.size());  // interior untouched
+  });
+}
+
+TEST(Boundary, PeriodicDomainsHaveNoBoundary) {
+  simrt::run(1, [](simrt::Communicator& comm) {
+    const Decomp3D d(8, 8, 8, 1, 1, 1, comm.rank(), /*periodic=*/true);
+    GridFunctions src(kNumFields, 8, 8, 8), dst(kNumFields, 8, 8, 8);
+    src.fill(1.0);
+    dst.fill(-1.0);
+    apply_radiation_boundary(d, src, dst, 0.5, 0.1, BoundaryVariant::Scalar);
+    for (double v : dst.raw()) EXPECT_DOUBLE_EQ(v, -1.0);  // untouched
+  });
+}
+
+}  // namespace
+}  // namespace vpar::cactus

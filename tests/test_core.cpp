@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/app_registry.hpp"
+#include "core/profile_builder.hpp"
+#include "core/report.hpp"
+#include "core/table.hpp"
+#include "simrt/runtime.hpp"
+
+namespace vpar::core {
+namespace {
+
+TEST(Table, FormatsAndAligns) {
+  Table t({"Name", "Value"});
+  t.add_row({"alpha", "1.25"});
+  t.add_row({"much-longer-name", "10"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Name"), std::string::npos);
+  EXPECT_NE(s.find("much-longer-name"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::runtime_error);
+}
+
+TEST(Formatting, NumbersAndPercent) {
+  EXPECT_EQ(fmt_gflops(4.318), "4.32");
+  EXPECT_EQ(fmt_gflops(0.1234), "0.123");
+  EXPECT_EQ(fmt_gflops(0.0), "--");
+  EXPECT_EQ(fmt_pct(0.544), "54%");
+  EXPECT_EQ(fmt_pct(0.0), "--");
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+}
+
+TEST(AppRegistry, MatchesPaperTableTwo) {
+  const auto& apps = application_registry();
+  ASSERT_EQ(apps.size(), 4u);
+  EXPECT_EQ(apps[0].name, "LBMHD");
+  EXPECT_EQ(apps[0].lines, 1500);
+  EXPECT_EQ(apps[1].name, "PARATEC");
+  EXPECT_EQ(apps[2].structure, "Grid");
+  EXPECT_EQ(apps[3].structure, "Particle");
+}
+
+TEST(ProfileBuilder, PicksCriticalPathRank) {
+  auto result = simrt::run(3, [](simrt::Communicator& comm) {
+    // Rank 1 does the most work.
+    perf::LoopRecord rec;
+    rec.instances = comm.rank() == 1 ? 100.0 : 10.0;
+    rec.trips = 50.0;
+    rec.flops_per_trip = 2.0;
+    rec.bytes_per_trip = 8.0;
+    perf::record_loop("work", rec);
+    comm.barrier();
+  });
+  const auto app = from_run(result, 12345.0);
+  EXPECT_EQ(app.procs, 3);
+  EXPECT_DOUBLE_EQ(app.baseline_flops, 12345.0);
+  EXPECT_DOUBLE_EQ(app.kernels.region_flops("work"), 100.0 * 50.0 * 2.0);
+}
+
+TEST(ProfileBuilder, ScaleProfileMultipliesExtensiveQuantities) {
+  arch::AppProfile base;
+  perf::LoopRecord rec;
+  rec.instances = 10.0;
+  rec.trips = 100.0;
+  rec.flops_per_trip = 1.0;
+  base.kernels.record("k", rec);
+  base.comm.record(perf::CommKind::PointToPoint, 4.0, 1000.0);
+  base.procs = 4;
+  base.baseline_flops = 4000.0;
+
+  const auto scaled = scale_profile(base, 3.0, 2.0, 16, 9000.0);
+  EXPECT_DOUBLE_EQ(scaled.kernels.total_flops(), 3000.0);
+  EXPECT_DOUBLE_EQ(scaled.comm.bytes(perf::CommKind::PointToPoint), 2000.0);
+  EXPECT_EQ(scaled.procs, 16);
+  EXPECT_DOUBLE_EQ(scaled.baseline_flops, 9000.0);
+  // Trip counts (intensive) must not scale.
+  EXPECT_DOUBLE_EQ(scaled.kernels.all_records()[0].trips, 100.0);
+}
+
+TEST(Report, ProfilePrintsEveryRegion) {
+  perf::KernelProfile prof;
+  perf::LoopRecord rec;
+  rec.instances = 1.0;
+  rec.trips = 256.0;
+  rec.flops_per_trip = 10.0;
+  rec.bytes_per_trip = 8.0;
+  prof.record("alpha", rec);
+  rec.vectorizable = false;
+  prof.record("beta", rec);
+
+  std::ostringstream os;
+  print_profile(os, prof, 256);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("beta"), std::string::npos);
+  EXPECT_NE(s.find("total"), std::string::npos);
+}
+
+TEST(Report, PredictionPrintsBreakdown) {
+  arch::AppProfile app;
+  perf::LoopRecord rec;
+  rec.instances = 1000.0;
+  rec.trips = 256.0;
+  rec.flops_per_trip = 10.0;
+  rec.bytes_per_trip = 8.0;
+  app.kernels.record("main_loop", rec);
+  app.procs = 8;
+  app.baseline_flops = app.kernels.total_flops() * 8;
+
+  const auto pred = arch::MachineModel(arch::earth_simulator()).predict(app);
+  std::ostringstream os;
+  print_prediction(os, pred);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("ES"), std::string::npos);
+  EXPECT_NE(s.find("main_loop"), std::string::npos);
+  EXPECT_NE(s.find("VOR"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vpar::core

@@ -1,0 +1,365 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "gtc/deposition.hpp"
+#include "gtc/poisson.hpp"
+#include "gtc/push.hpp"
+#include "gtc/shift.hpp"
+#include "gtc/simulation.hpp"
+#include "gtc/workload.hpp"
+#include "simrt/runtime.hpp"
+
+namespace vpar::gtc {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+TEST(Stencil, WeightsSumToOne) {
+  simrt::run(1, [](simrt::Communicator& comm) {
+    TorusGrid grid(16, 16, 4, comm.size(), comm.rank());
+    DepositStencil st;
+    for (double rho : {0.0, 0.7, 2.3}) {
+      compute_stencil(grid, 3.4, 7.9, 1.1, rho, st);
+      double wsum = 0.0;
+      for (double w : st.wcell) wsum += w;
+      EXPECT_NEAR(wsum, 1.0, 1e-14) << "rho=" << rho;
+      EXPECT_NEAR(st.wplane[0] + st.wplane[1], 1.0, 1e-14);
+    }
+  });
+}
+
+TEST(Stencil, ZeroGyroradiusIsClassicPic) {
+  // With rho = 0 all four ring points coincide: the stencil reduces to the
+  // classic 4-point bilinear deposition (Figure 8a vs 8b).
+  simrt::run(1, [](simrt::Communicator& comm) {
+    TorusGrid grid(16, 16, 4, comm.size(), comm.rank());
+    DepositStencil st;
+    compute_stencil(grid, 5.25, 8.5, 0.3, 0.0, st);
+    for (int r = 1; r < 4; ++r) {
+      for (int c = 0; c < 4; ++c) {
+        EXPECT_EQ(st.cell[4 * r + c], st.cell[c]);
+        EXPECT_DOUBLE_EQ(st.wcell[4 * r + c], st.wcell[c]);
+      }
+    }
+  });
+}
+
+ParticleSet random_particles(const TorusGrid& grid, std::size_t n, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> ux(0.0, static_cast<double>(grid.ngx()));
+  std::uniform_real_distribution<double> uy(0.0, static_cast<double>(grid.ngy()));
+  std::uniform_real_distribution<double> uz(grid.zeta_min(), grid.zeta_max());
+  std::uniform_real_distribution<double> uq(-1.0, 1.0);
+  ParticleSet p;
+  for (std::size_t i = 0; i < n; ++i) {
+    p.push_back(ux(rng), uy(rng), uz(rng), 0.0, 1.3, uq(rng));
+  }
+  return p;
+}
+
+class DepositVariants : public ::testing::TestWithParam<DepositVariant> {};
+
+TEST_P(DepositVariants, ConservesTotalCharge) {
+  simrt::run(1, [&](simrt::Communicator& comm) {
+    TorusGrid grid(16, 12, 4, comm.size(), comm.rank());
+    auto p = random_particles(grid, 500, 7);
+    deposit(p, grid, GetParam(), 32);
+    // Fold the ghost plane back (single rank: periodic wrap onto plane 0).
+    double total = 0.0;
+    for (double v : grid.charge()) total += v;
+    EXPECT_NEAR(total, p.total_charge(), 1e-10);
+  });
+}
+
+TEST_P(DepositVariants, MatchesScatterReference) {
+  simrt::run(1, [&](simrt::Communicator& comm) {
+    TorusGrid ref(16, 12, 4, comm.size(), comm.rank());
+    TorusGrid got(16, 12, 4, comm.size(), comm.rank());
+    auto p = random_particles(ref, 400, 9);
+    deposit(p, ref, DepositVariant::Scatter);
+    deposit(p, got, GetParam(), 16);
+    for (std::size_t i = 0; i < ref.charge().size(); ++i) {
+      EXPECT_NEAR(got.charge()[i], ref.charge()[i], 1e-11) << "cell " << i;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, DepositVariants,
+                         ::testing::Values(DepositVariant::Scatter,
+                                           DepositVariant::WorkVector,
+                                           DepositVariant::Sorted));
+
+TEST(Deposit, WorkVectorIsVectorizableScatterIsNot) {
+  simrt::run(1, [](simrt::Communicator& comm) {
+    TorusGrid grid(16, 12, 4, comm.size(), comm.rank());
+    auto p = random_particles(grid, 300, 5);
+
+    perf::Recorder scatter_rec, wv_rec;
+    {
+      perf::ScopedRecorder s(scatter_rec);
+      TorusGrid g(16, 12, 4, comm.size(), comm.rank());
+      deposit(p, g, DepositVariant::Scatter);
+    }
+    {
+      perf::ScopedRecorder s(wv_rec);
+      TorusGrid g(16, 12, 4, comm.size(), comm.rank());
+      deposit(p, g, DepositVariant::WorkVector, 64);
+    }
+    const auto sstats = perf::compute_vector_stats(scatter_rec.kernels(), 64);
+    const auto wstats = perf::compute_vector_stats(wv_rec.kernels(), 64);
+    EXPECT_LT(sstats.vor, 0.01);
+    EXPECT_GT(wstats.vor, 0.99);
+    EXPECT_NEAR(wstats.avl, 64.0, 10.0);
+  });
+}
+
+TEST(Poisson, RecoversAnalyticEigenmode) {
+  simrt::run(1, [](simrt::Communicator& comm) {
+    constexpr std::size_t n = 32;
+    TorusGrid grid(n, n, 2, comm.size(), comm.rank());
+    const double kx = kTwoPi * 3.0 / n, ky = kTwoPi * 2.0 / n;
+    const double k2 = kx * kx + ky * ky;
+    for (int p = 0; p < grid.planes_local(); ++p) {
+      double* rho = grid.charge_plane(p);
+      for (std::size_t y = 0; y < n; ++y) {
+        for (std::size_t x = 0; x < n; ++x) {
+          rho[y * n + x] = k2 * std::sin(kx * x) * std::sin(ky * y);
+        }
+      }
+    }
+    solve_poisson(grid);
+    for (std::size_t y = 0; y < n; ++y) {
+      for (std::size_t x = 0; x < n; ++x) {
+        const double expect = std::sin(kx * x) * std::sin(ky * y);
+        EXPECT_NEAR(grid.phi_plane(0)[y * n + x], expect, 1e-10);
+      }
+    }
+  });
+}
+
+TEST(Poisson, ZeroModeGauge) {
+  simrt::run(1, [](simrt::Communicator& comm) {
+    TorusGrid grid(16, 16, 1, comm.size(), comm.rank());
+    for (std::size_t i = 0; i < grid.plane_size(); ++i) {
+      grid.charge_plane(0)[i] = 1.0;  // pure k=0 charge
+    }
+    solve_poisson(grid);
+    for (std::size_t i = 0; i < grid.plane_size(); ++i) {
+      EXPECT_NEAR(grid.phi_plane(0)[i], 0.0, 1e-12);
+    }
+  });
+}
+
+TEST(Push, ExBDriftMatchesAnalytic) {
+  // phi = A sin(kx x): E = (-A kx cos(kx x), 0); a zero-gyroradius marker
+  // drifts in y at vy = -Ex/b0 = A kx cos(kx x0) while x stays fixed.
+  simrt::run(1, [](simrt::Communicator& comm) {
+    constexpr std::size_t n = 64;
+    TorusGrid grid(n, n, 2, comm.size(), comm.rank());
+    const double kx = kTwoPi * 2.0 / n;
+    const double amp = 0.5;
+    for (int p = 0; p < grid.planes_local(); ++p) {
+      for (std::size_t y = 0; y < n; ++y) {
+        for (std::size_t x = 0; x < n; ++x) {
+          grid.phi_plane(p)[y * n + x] = amp * std::sin(kx * x);
+        }
+      }
+    }
+    compute_efield(grid);
+    std::vector<double> exg(grid.plane_size()), eyg(grid.plane_size());
+    std::copy_n(grid.ex_plane(0), grid.plane_size(), exg.begin());
+    std::copy_n(grid.ey_plane(0), grid.plane_size(), eyg.begin());
+
+    ParticleSet p;
+    const double x0 = 16.0, y0 = 20.0;  // on a grid point for exact gather
+    p.push_back(x0, y0, 0.5, 0.0, 0.0, 1.0);
+    const double dt = 0.01, b0 = 2.0;
+    const int steps = 50;
+    for (int s = 0; s < steps; ++s) gather_push(p, grid, exg, eyg, dt, b0);
+
+    // Central-difference E at x0 (grid-point sample, kh discretization):
+    const double ex_grid = -amp * std::sin(kx) / 1.0 *
+                           (std::cos(kx * x0));  // -(phi(x+1)-phi(x-1))/2
+    const double vy = -ex_grid / b0;
+    EXPECT_NEAR(p.x[0], x0, 1e-9);  // x unchanged: E has no y component
+    EXPECT_NEAR(p.y[0], y0 + vy * dt * steps, 1e-6);
+    EXPECT_DOUBLE_EQ(p.zeta[0], 0.5);  // vpar = 0
+  });
+}
+
+class ShiftVariants : public ::testing::TestWithParam<ShiftVariant> {};
+
+TEST_P(ShiftVariants, EveryParticleArrivesHome) {
+  constexpr int P = 4;
+  simrt::run(P, [&](simrt::Communicator& comm) {
+    TorusGrid grid(8, 8, 8, comm.size(), comm.rank());
+    // Scatter particles' zeta over the WHOLE torus so most must migrate,
+    // some several hops.
+    ParticleSet p;
+    std::mt19937_64 rng(100 + static_cast<unsigned>(comm.rank()));
+    std::uniform_real_distribution<double> uz(0.0, kTwoPi);
+    for (int i = 0; i < 200; ++i) {
+      p.push_back(1.0, 1.0, uz(rng), 0.0, 0.5, 1.0);
+    }
+    shift(comm, grid, p, GetParam());
+
+    for (double z : p.zeta) {
+      EXPECT_GE(z, grid.zeta_min());
+      EXPECT_LT(z, grid.zeta_max());
+    }
+    const auto total = comm.allreduce(static_cast<long>(p.size()),
+                                      simrt::ReduceOp::Sum);
+    EXPECT_EQ(total, 4 * 200);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(BothVariants, ShiftVariants,
+                         ::testing::Values(ShiftVariant::NestedIf,
+                                           ShiftVariant::TwoPass));
+
+TEST(Shift, VariantsMoveIdenticalParticleSets) {
+  constexpr int P = 4;
+  for (auto variant : {ShiftVariant::NestedIf, ShiftVariant::TwoPass}) {
+    std::vector<std::vector<double>> per_rank_zetas(P);
+    simrt::run(P, [&](simrt::Communicator& comm) {
+      TorusGrid grid(8, 8, 8, comm.size(), comm.rank());
+      ParticleSet p;
+      std::mt19937_64 rng(55 + static_cast<unsigned>(comm.rank()));
+      std::uniform_real_distribution<double> uz(0.0, kTwoPi);
+      for (int i = 0; i < 100; ++i) p.push_back(0, 0, uz(rng), 0, 0, 1.0);
+      shift(comm, grid, p, variant);
+      auto z = p.zeta;
+      std::sort(z.begin(), z.end());
+      per_rank_zetas[static_cast<std::size_t>(comm.rank())] = z;
+    });
+    static std::vector<std::vector<double>> reference;
+    if (variant == ShiftVariant::NestedIf) {
+      reference = per_rank_zetas;
+    } else {
+      for (int r = 0; r < P; ++r) {
+        EXPECT_EQ(per_rank_zetas[static_cast<std::size_t>(r)],
+                  reference[static_cast<std::size_t>(r)])
+            << "rank " << r;
+      }
+    }
+  }
+}
+
+TEST(Simulation, ChargeConservedOnGrid) {
+  for (int procs : {1, 2, 4}) {
+    simrt::run(procs, [&](simrt::Communicator& comm) {
+      Options opt;
+      opt.ngx = opt.ngy = 12;
+      opt.nplanes = 4;
+      opt.particles_per_cell = 4;
+      Simulation sim(comm, opt);
+      sim.load_particles();
+      const double particle_charge = sim.global_particle_charge();
+      sim.deposit_phase();
+      EXPECT_NEAR(sim.global_grid_charge(), particle_charge, 1e-9) << procs;
+    });
+  }
+}
+
+TEST(Simulation, ParticleCountStableAcrossSteps) {
+  simrt::run(4, [](simrt::Communicator& comm) {
+    Options opt;
+    opt.ngx = opt.ngy = 12;
+    opt.nplanes = 8;
+    opt.particles_per_cell = 3;
+    opt.dt = 0.1;
+    Simulation sim(comm, opt);
+    sim.load_particles();
+    const auto n0 = sim.global_particle_count();
+    sim.run(5);
+    EXPECT_EQ(sim.global_particle_count(), n0);
+    EXPECT_TRUE(sim.particles_home());
+  });
+}
+
+TEST(Simulation, AllDepositVariantsGiveSamePhysics) {
+  auto energy_with = [](DepositVariant v) {
+    double e = 0.0;
+    simrt::run(2, [&](simrt::Communicator& comm) {
+      Options opt;
+      opt.ngx = opt.ngy = 12;
+      opt.nplanes = 4;
+      opt.particles_per_cell = 4;
+      opt.deposit = v;
+      opt.vlen = 16;
+      Simulation sim(comm, opt);
+      sim.load_particles();
+      sim.run(3);
+      const double fe = sim.field_energy();
+      if (comm.rank() == 0) e = fe;
+    });
+    return e;
+  };
+  const double scatter = energy_with(DepositVariant::Scatter);
+  const double wv = energy_with(DepositVariant::WorkVector);
+  const double sorted = energy_with(DepositVariant::Sorted);
+  EXPECT_NEAR(wv, scatter, std::abs(scatter) * 1e-8 + 1e-12);
+  EXPECT_NEAR(sorted, scatter, std::abs(scatter) * 1e-8 + 1e-12);
+}
+
+TEST(Workload, SynthesizedMatchesInstrumentedRun) {
+  constexpr int steps = 2;
+  Options opt;
+  opt.ngx = opt.ngy = 12;
+  opt.nplanes = 4;
+  opt.particles_per_cell = 4;
+  opt.deposit = DepositVariant::Scatter;
+  opt.shift = ShiftVariant::NestedIf;
+  opt.dt = 0.0;  // no motion: exactly one shift classification round
+  auto result = simrt::run(2, [&](simrt::Communicator& comm) {
+    Simulation sim(comm, opt);
+    sim.load_particles();
+    sim.run(steps);
+  });
+
+  Table6Config cfg;
+  cfg.ngx = cfg.ngy = 12;
+  cfg.nplanes = 4;
+  cfg.particles_per_cell = 4;
+  cfg.procs = 2;
+  cfg.steps = steps;
+  cfg.deposit = DepositVariant::Scatter;
+  cfg.shift_variant = ShiftVariant::NestedIf;
+  const auto synth = make_profile(cfg);
+
+  const auto& measured = result.per_rank[0].kernels();
+  EXPECT_NEAR(synth.kernels.region_flops("charge_deposition"),
+              measured.region_flops("charge_deposition"), 1.0);
+  EXPECT_NEAR(synth.kernels.region_flops("gather_push"),
+              measured.region_flops("gather_push"), 1.0);
+  EXPECT_NEAR(synth.kernels.region_flops("shift"),
+              measured.region_flops("shift"), 1.0);
+}
+
+TEST(Workload, HybridSharesWorkAcrossThreads) {
+  Table6Config mpi;
+  mpi.procs = 64;
+  Table6Config hybrid = mpi;
+  hybrid.procs = 1024;
+  hybrid.openmp_threads = 16;
+  const auto a = make_profile(mpi);
+  const auto b = make_profile(hybrid);
+  // Same baseline, same total work; per-CPU share shrinks by threads*eff.
+  EXPECT_DOUBLE_EQ(a.baseline_flops, b.baseline_flops);
+  EXPECT_NEAR(b.kernels.total_flops() / a.kernels.total_flops(),
+              1.0 / (16.0 * 0.5), 1e-9);
+  EXPECT_EQ(b.procs, 1024);
+}
+
+TEST(Workload, MpiConcurrencyCappedAtPlaneCount) {
+  Table6Config cfg;
+  cfg.procs = 128;  // > 64 planes without threads
+  EXPECT_THROW(make_profile(cfg), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vpar::gtc

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "gtc/deposition.hpp"
+#include "gtc/simulation.hpp"
+#include "simrt/runtime.hpp"
+
+namespace vpar::gtc {
+namespace {
+
+ParticleSet random_particles(const TorusGrid& grid, std::size_t n, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> ux(0.0, static_cast<double>(grid.ngx()));
+  std::uniform_real_distribution<double> uy(0.0, static_cast<double>(grid.ngy()));
+  std::uniform_real_distribution<double> uz(grid.zeta_min(), grid.zeta_max());
+  std::uniform_real_distribution<double> uq(-1.0, 1.0);
+  ParticleSet p;
+  for (std::size_t i = 0; i < n; ++i) {
+    p.push_back(ux(rng), uy(rng), uz(rng), 0.0, 1.1, uq(rng));
+  }
+  return p;
+}
+
+class ThreadCounts : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadCounts, ThreadedDepositionMatchesScatter) {
+  const int threads = GetParam();
+  simrt::run(1, [&](simrt::Communicator& comm) {
+    TorusGrid ref(20, 16, 4, comm.size(), comm.rank());
+    TorusGrid got(20, 16, 4, comm.size(), comm.rank());
+    const auto p = random_particles(ref, 1000, 13);
+    deposit(p, ref, DepositVariant::Scatter);
+    deposit_threaded(p, got, threads);
+    for (std::size_t i = 0; i < ref.charge().size(); ++i) {
+      EXPECT_NEAR(got.charge()[i], ref.charge()[i], 1e-11);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, ThreadCounts, ::testing::Values(1, 2, 3, 8));
+
+TEST(Hybrid, SimulationWithThreadsConservesEverything) {
+  simrt::run(2, [](simrt::Communicator& comm) {
+    Options opt;
+    opt.ngx = opt.ngy = 12;
+    opt.nplanes = 4;
+    opt.particles_per_cell = 4;
+    opt.threads = 4;  // hybrid: 2 ranks x 4 loop-level threads
+    Simulation sim(comm, opt);
+    sim.load_particles();
+    const double q = sim.global_particle_charge();
+    const auto n = sim.global_particle_count();
+    sim.run(4);
+    EXPECT_EQ(sim.global_particle_count(), n);
+    sim.deposit_phase();
+    EXPECT_NEAR(sim.global_grid_charge(), q, 1e-9);
+  });
+}
+
+TEST(Hybrid, ThreadedRunMatchesSerialRunPhysics) {
+  auto energy = [](int threads) {
+    double e = 0.0;
+    simrt::run(2, [&](simrt::Communicator& comm) {
+      Options opt;
+      opt.ngx = opt.ngy = 12;
+      opt.nplanes = 4;
+      opt.particles_per_cell = 4;
+      opt.threads = threads;
+      Simulation sim(comm, opt);
+      sim.load_particles();
+      sim.run(3);
+      const double fe = sim.field_energy();
+      if (comm.rank() == 0) e = fe;
+    });
+    return e;
+  };
+  const double serial = energy(1);
+  const double hybrid = energy(4);
+  EXPECT_NEAR(hybrid, serial, std::abs(serial) * 1e-8 + 1e-12);
+}
+
+}  // namespace
+}  // namespace vpar::gtc

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "perf/comm_profile.hpp"
+#include "perf/kernel_profile.hpp"
+#include "perf/loop_record.hpp"
+#include "perf/recorder.hpp"
+
+namespace vpar::perf {
+namespace {
+
+LoopRecord make_record(double instances, double trips, double flops,
+                       double bytes, bool vec = true) {
+  LoopRecord r;
+  r.vectorizable = vec;
+  r.instances = instances;
+  r.trips = trips;
+  r.flops_per_trip = flops;
+  r.bytes_per_trip = bytes;
+  return r;
+}
+
+TEST(LoopRecord, Totals) {
+  const auto r = make_record(10, 100, 5, 8);
+  EXPECT_DOUBLE_EQ(r.total_flops(), 5000.0);
+  EXPECT_DOUBLE_EQ(r.total_bytes(), 8000.0);
+}
+
+TEST(LoopRecord, VectorInstructionsStripMines) {
+  auto r = make_record(1, 256, 1, 0);
+  EXPECT_DOUBLE_EQ(r.vector_instructions(256), 1.0);
+  EXPECT_DOUBLE_EQ(r.vector_instructions(64), 4.0);
+  r.trips = 257;
+  EXPECT_DOUBLE_EQ(r.vector_instructions(256), 2.0);
+}
+
+TEST(LoopRecord, VectorInstructionsDegenerate) {
+  const auto r = make_record(1, 0, 1, 0);
+  EXPECT_DOUBLE_EQ(r.vector_instructions(256), 0.0);
+}
+
+TEST(LoopRecord, ScaledInstances) {
+  const auto r = make_record(10, 100, 5, 8).scaled_instances(3.0);
+  EXPECT_DOUBLE_EQ(r.instances, 30.0);
+  EXPECT_DOUBLE_EQ(r.trips, 100.0);  // trips unchanged
+}
+
+TEST(KernelProfile, CoalescesIdenticalShapes) {
+  KernelProfile p;
+  p.record("a", make_record(1, 100, 5, 8));
+  p.record("a", make_record(2, 100, 5, 8));
+  ASSERT_EQ(p.regions().at("a").size(), 1u);
+  EXPECT_DOUBLE_EQ(p.regions().at("a")[0].instances, 3.0);
+}
+
+TEST(KernelProfile, KeepsDistinctShapesSeparate) {
+  KernelProfile p;
+  p.record("a", make_record(1, 100, 5, 8));
+  p.record("a", make_record(1, 200, 5, 8));
+  EXPECT_EQ(p.regions().at("a").size(), 2u);
+}
+
+TEST(KernelProfile, TotalsAcrossRegions) {
+  KernelProfile p;
+  p.record("a", make_record(1, 100, 5, 8));
+  p.record("b", make_record(1, 50, 4, 2));
+  EXPECT_DOUBLE_EQ(p.total_flops(), 500.0 + 200.0);
+  EXPECT_DOUBLE_EQ(p.total_bytes(), 800.0 + 100.0);
+  EXPECT_DOUBLE_EQ(p.region_flops("a"), 500.0);
+  EXPECT_DOUBLE_EQ(p.region_flops("missing"), 0.0);
+}
+
+TEST(KernelProfile, MergeAndScale) {
+  KernelProfile p, q;
+  p.record("a", make_record(1, 100, 5, 8));
+  q.record("a", make_record(1, 100, 5, 8));
+  q.record("b", make_record(1, 10, 1, 1));
+  p.merge(q);
+  EXPECT_DOUBLE_EQ(p.total_flops(), 1010.0);
+  const auto s = p.scaled(2.0);
+  EXPECT_DOUBLE_EQ(s.total_flops(), 2020.0);
+}
+
+TEST(VectorStats, FullyVectorizedLongLoops) {
+  KernelProfile p;
+  p.record("a", make_record(1, 256, 1, 0));
+  const auto stats = compute_vector_stats(p, 256);
+  EXPECT_DOUBLE_EQ(stats.vor, 1.0);
+  EXPECT_DOUBLE_EQ(stats.avl, 256.0);
+}
+
+TEST(VectorStats, ShortLoopsLowerAvl) {
+  KernelProfile p;
+  p.record("a", make_record(1, 64, 1, 0));
+  const auto stats = compute_vector_stats(p, 256);
+  EXPECT_DOUBLE_EQ(stats.avl, 64.0);
+}
+
+TEST(VectorStats, ScalarWorkLowersVor) {
+  KernelProfile p;
+  p.record("vec", make_record(1, 100, 9, 0, true));
+  p.record("scalar", make_record(1, 100, 1, 0, false));
+  const auto stats = compute_vector_stats(p, 256);
+  EXPECT_NEAR(stats.vor, 0.9, 1e-12);
+}
+
+TEST(VectorStats, MachineVectorLengthMatters) {
+  KernelProfile p;
+  p.record("a", make_record(1, 200, 1, 0));
+  EXPECT_DOUBLE_EQ(compute_vector_stats(p, 256).avl, 200.0);
+  // 200 trips on VL=64: 4 strips, average length 50.
+  EXPECT_DOUBLE_EQ(compute_vector_stats(p, 64).avl, 50.0);
+}
+
+TEST(CommProfile, RecordsAndMerges) {
+  CommProfile c;
+  c.record(CommKind::PointToPoint, 2, 1000);
+  c.record(CommKind::AllToAll, 3, 5000);
+  EXPECT_DOUBLE_EQ(c.bytes(CommKind::PointToPoint), 1000.0);
+  EXPECT_DOUBLE_EQ(c.total_bytes(), 6000.0);
+  EXPECT_DOUBLE_EQ(c.total_messages(), 5.0);
+
+  CommProfile d;
+  d.record(CommKind::PointToPoint, 1, 10);
+  c.merge(d);
+  EXPECT_DOUBLE_EQ(c.messages(CommKind::PointToPoint), 3.0);
+
+  const auto s = c.scaled(2.0);
+  EXPECT_DOUBLE_EQ(s.bytes(CommKind::AllToAll), 10000.0);
+}
+
+TEST(Recorder, FreeFunctionsNoOpWithoutInstall) {
+  EXPECT_EQ(current_recorder(), nullptr);
+  record_loop("x", make_record(1, 1, 1, 1));  // must not crash
+  record_comm(CommKind::Barrier, 1, 0);
+}
+
+TEST(Recorder, ScopedInstallAndNesting) {
+  Recorder outer, inner;
+  {
+    ScopedRecorder a(outer);
+    record_loop("x", make_record(1, 10, 1, 0));
+    {
+      ScopedRecorder b(inner);
+      record_loop("y", make_record(1, 20, 1, 0));
+    }
+    EXPECT_EQ(current_recorder(), &outer);
+    record_comm(CommKind::Barrier, 1, 0);
+  }
+  EXPECT_EQ(current_recorder(), nullptr);
+  EXPECT_DOUBLE_EQ(outer.kernels().total_flops(), 10.0);
+  EXPECT_DOUBLE_EQ(inner.kernels().total_flops(), 20.0);
+  EXPECT_DOUBLE_EQ(outer.comm().total_messages(), 1.0);
+}
+
+}  // namespace
+}  // namespace vpar::perf

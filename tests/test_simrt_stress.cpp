@@ -1,0 +1,162 @@
+// Stress and corner-case tests of the simulated parallel runtime: high rank
+// counts, interleaved traffic patterns, multiple co-arrays, and message
+// matching under contention.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "simrt/coarray.hpp"
+#include "simrt/runtime.hpp"
+
+namespace vpar::simrt {
+namespace {
+
+TEST(SimrtStress, SixtyFourRankAllreduceStorm) {
+  run(64, [](Communicator& comm) {
+    for (int iter = 0; iter < 10; ++iter) {
+      const long sum = comm.allreduce(static_cast<long>(comm.rank()), ReduceOp::Sum);
+      EXPECT_EQ(sum, 64L * 63L / 2L);
+    }
+  });
+}
+
+TEST(SimrtStress, RandomizedPointToPointSoak) {
+  // Every rank sends a tagged message to every other rank in random order;
+  // every message must arrive with the right contents regardless of
+  // interleaving.
+  constexpr int P = 12;
+  run(P, [](Communicator& comm) {
+    std::vector<int> order(static_cast<std::size_t>(comm.size()));
+    std::iota(order.begin(), order.end(), 0);
+    std::mt19937 rng(1000u + static_cast<unsigned>(comm.rank()));
+    std::shuffle(order.begin(), order.end(), rng);
+
+    for (int dest : order) {
+      const int payload = comm.rank() * 1000 + dest;
+      comm.send<int>(dest, std::span<const int>(&payload, 1), 99);
+    }
+    for (int src = 0; src < comm.size(); ++src) {
+      int got = -1;
+      comm.recv<int>(src, std::span<int>(&got, 1), 99);
+      EXPECT_EQ(got, src * 1000 + comm.rank());
+    }
+  });
+}
+
+TEST(SimrtStress, WildcardReceiveDrainsEverything) {
+  constexpr int P = 8;
+  run(P, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      long total = 0;
+      for (int i = 0; i < P - 1; ++i) {
+        long v = 0;
+        comm.recv<long>(kAnySource, std::span<long>(&v, 1), 5);
+        total += v;
+      }
+      // Ranks 1..P-1 each send rank+1: sum = (P-1)(P+2)/2.
+      EXPECT_EQ(total, (P - 1L) * (P + 2L) / 2L);
+    } else {
+      const long v = comm.rank() + 1;
+      comm.send<long>(0, std::span<const long>(&v, 1), 5);
+    }
+  });
+}
+
+TEST(SimrtStress, InterleavedCollectivesAndPointToPoint) {
+  constexpr int P = 6;
+  run(P, [](Communicator& comm) {
+    const int right = (comm.rank() + 1) % comm.size();
+    const int left = (comm.rank() + comm.size() - 1) % comm.size();
+    for (int iter = 0; iter < 25; ++iter) {
+      int token = comm.rank() * 100 + iter, got = -1;
+      comm.sendrecv<int>(right, std::span<const int>(&token, 1), left,
+                         std::span<int>(&got, 1), iter);
+      EXPECT_EQ(got, left * 100 + iter);
+      EXPECT_EQ(comm.allreduce(1, ReduceOp::Sum), comm.size());
+      comm.barrier();
+    }
+  });
+}
+
+TEST(SimrtStress, MultipleCoArraysAreIndependent) {
+  run(4, [](Communicator& comm) {
+    CoArray<double> a(comm, "stress_a", 8);
+    CoArray<int> b(comm, "stress_b", 3);
+    for (std::size_t i = 0; i < 8; ++i) a.local()[i] = comm.rank() + 0.5;
+    for (std::size_t i = 0; i < 3; ++i) b.local()[i] = -comm.rank();
+    a.sync_all();
+
+    const int peer = (comm.rank() + 2) % 4;
+    std::array<double, 8> da{};
+    std::array<int, 3> db{};
+    a.get(peer, 0, std::span<double>(da));
+    b.get(peer, 0, std::span<int>(db));
+    for (double v : da) EXPECT_DOUBLE_EQ(v, peer + 0.5);
+    for (int v : db) EXPECT_EQ(v, -peer);
+    a.sync_all();
+  });
+}
+
+TEST(SimrtStress, LargePayloadRoundTrip) {
+  run(2, [](Communicator& comm) {
+    constexpr std::size_t n = 1 << 20;  // 8 MB of doubles
+    if (comm.rank() == 0) {
+      std::vector<double> big(n);
+      for (std::size_t i = 0; i < n; ++i) big[i] = static_cast<double>(i % 1013);
+      comm.send<double>(1, big, 0);
+    } else {
+      std::vector<double> big(n);
+      comm.recv<double>(0, std::span<double>(big), 0);
+      for (std::size_t i = 0; i < n; i += 4096) {
+        ASSERT_DOUBLE_EQ(big[i], static_cast<double>(i % 1013));
+      }
+    }
+  });
+}
+
+TEST(SimrtStress, BroadcastFromEveryRoot) {
+  constexpr int P = 5;
+  run(P, [](Communicator& comm) {
+    for (int root = 0; root < P; ++root) {
+      std::array<int, 2> v{};
+      if (comm.rank() == root) v = {root * 7, root * 11};
+      comm.broadcast<int>(std::span<int>(v), root);
+      EXPECT_EQ(v[0], root * 7);
+      EXPECT_EQ(v[1], root * 11);
+    }
+  });
+}
+
+TEST(SimrtStress, ReduceMinMaxOnDoubles) {
+  run(7, [](Communicator& comm) {
+    const double mine = 1.0 / (1.0 + comm.rank());
+    EXPECT_DOUBLE_EQ(comm.allreduce(mine, ReduceOp::Max), 1.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce(mine, ReduceOp::Min), 1.0 / 7.0);
+  });
+}
+
+TEST(SimrtStress, AlltoallvStorm) {
+  constexpr int P = 8;
+  run(P, [](Communicator& comm) {
+    for (int iter = 0; iter < 10; ++iter) {
+      std::vector<std::vector<double>> out(P);
+      for (int d = 0; d < P; ++d) {
+        out[static_cast<std::size_t>(d)].assign(
+            static_cast<std::size_t>((comm.rank() + d + iter) % 3 + 1),
+            comm.rank() * 1.0 + d * 0.01);
+      }
+      auto in = comm.alltoallv(out);
+      for (int s = 0; s < P; ++s) {
+        const auto& box = in[static_cast<std::size_t>(s)];
+        ASSERT_EQ(box.size(),
+                  static_cast<std::size_t>((s + comm.rank() + iter) % 3 + 1));
+        for (double v : box) EXPECT_DOUBLE_EQ(v, s * 1.0 + comm.rank() * 0.01);
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace vpar::simrt
