@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ports.dir/ablation_ports.cpp.o"
+  "CMakeFiles/ablation_ports.dir/ablation_ports.cpp.o.d"
+  "ablation_ports"
+  "ablation_ports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

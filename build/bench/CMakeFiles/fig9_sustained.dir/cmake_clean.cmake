@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_sustained.dir/fig9_sustained.cpp.o"
+  "CMakeFiles/fig9_sustained.dir/fig9_sustained.cpp.o.d"
+  "fig9_sustained"
+  "fig9_sustained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_sustained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

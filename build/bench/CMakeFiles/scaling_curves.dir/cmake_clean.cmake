@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_curves.dir/scaling_curves.cpp.o"
+  "CMakeFiles/scaling_curves.dir/scaling_curves.cpp.o.d"
+  "scaling_curves"
+  "scaling_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

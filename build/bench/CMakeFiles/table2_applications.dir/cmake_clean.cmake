@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_applications.dir/table2_applications.cpp.o"
+  "CMakeFiles/table2_applications.dir/table2_applications.cpp.o.d"
+  "table2_applications"
+  "table2_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_lbmhd.dir/table3_lbmhd.cpp.o"
+  "CMakeFiles/table3_lbmhd.dir/table3_lbmhd.cpp.o.d"
+  "table3_lbmhd"
+  "table3_lbmhd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_lbmhd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

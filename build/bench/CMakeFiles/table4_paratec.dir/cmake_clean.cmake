@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_paratec.dir/table4_paratec.cpp.o"
+  "CMakeFiles/table4_paratec.dir/table4_paratec.cpp.o.d"
+  "table4_paratec"
+  "table4_paratec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_paratec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_cactus.dir/table5_cactus.cpp.o"
+  "CMakeFiles/table5_cactus.dir/table5_cactus.cpp.o.d"
+  "table5_cactus"
+  "table5_cactus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_cactus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

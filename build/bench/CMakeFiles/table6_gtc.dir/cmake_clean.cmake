@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_gtc.dir/table6_gtc.cpp.o"
+  "CMakeFiles/table6_gtc.dir/table6_gtc.cpp.o.d"
+  "table6_gtc"
+  "table6_gtc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_gtc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_summary.dir/table7_summary.cpp.o"
+  "CMakeFiles/table7_summary.dir/table7_summary.cpp.o.d"
+  "table7_summary"
+  "table7_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

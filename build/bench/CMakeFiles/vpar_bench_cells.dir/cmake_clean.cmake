@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpar_bench_cells.dir/cells.cpp.o"
+  "CMakeFiles/vpar_bench_cells.dir/cells.cpp.o.d"
+  "libvpar_bench_cells.a"
+  "libvpar_bench_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpar_bench_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cactus_waves.dir/cactus_waves.cpp.o"
+  "CMakeFiles/cactus_waves.dir/cactus_waves.cpp.o.d"
+  "cactus_waves"
+  "cactus_waves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cactus_waves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

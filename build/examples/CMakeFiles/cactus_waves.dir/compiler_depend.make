@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cactus_waves.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for cactus_waves.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtc_turbulence.dir/gtc_turbulence.cpp.o"
+  "CMakeFiles/gtc_turbulence.dir/gtc_turbulence.cpp.o.d"
+  "gtc_turbulence"
+  "gtc_turbulence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtc_turbulence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

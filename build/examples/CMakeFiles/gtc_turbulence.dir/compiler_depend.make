@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gtc_turbulence.
+# This may be replaced when dependencies are built.

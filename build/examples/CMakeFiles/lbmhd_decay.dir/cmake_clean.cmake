@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbmhd_decay.dir/lbmhd_decay.cpp.o"
+  "CMakeFiles/lbmhd_decay.dir/lbmhd_decay.cpp.o.d"
+  "lbmhd_decay"
+  "lbmhd_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbmhd_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paratec_layout.dir/paratec_layout.cpp.o"
+  "CMakeFiles/paratec_layout.dir/paratec_layout.cpp.o.d"
+  "paratec_layout"
+  "paratec_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paratec_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

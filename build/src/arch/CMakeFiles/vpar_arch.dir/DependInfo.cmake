@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/cpu_model.cpp" "src/arch/CMakeFiles/vpar_arch.dir/cpu_model.cpp.o" "gcc" "src/arch/CMakeFiles/vpar_arch.dir/cpu_model.cpp.o.d"
+  "/root/repo/src/arch/machine_model.cpp" "src/arch/CMakeFiles/vpar_arch.dir/machine_model.cpp.o" "gcc" "src/arch/CMakeFiles/vpar_arch.dir/machine_model.cpp.o.d"
+  "/root/repo/src/arch/network_model.cpp" "src/arch/CMakeFiles/vpar_arch.dir/network_model.cpp.o" "gcc" "src/arch/CMakeFiles/vpar_arch.dir/network_model.cpp.o.d"
+  "/root/repo/src/arch/platform.cpp" "src/arch/CMakeFiles/vpar_arch.dir/platform.cpp.o" "gcc" "src/arch/CMakeFiles/vpar_arch.dir/platform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/vpar_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

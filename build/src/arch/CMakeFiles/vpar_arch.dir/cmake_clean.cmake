@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpar_arch.dir/cpu_model.cpp.o"
+  "CMakeFiles/vpar_arch.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/vpar_arch.dir/machine_model.cpp.o"
+  "CMakeFiles/vpar_arch.dir/machine_model.cpp.o.d"
+  "CMakeFiles/vpar_arch.dir/network_model.cpp.o"
+  "CMakeFiles/vpar_arch.dir/network_model.cpp.o.d"
+  "CMakeFiles/vpar_arch.dir/platform.cpp.o"
+  "CMakeFiles/vpar_arch.dir/platform.cpp.o.d"
+  "libvpar_arch.a"
+  "libvpar_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpar_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

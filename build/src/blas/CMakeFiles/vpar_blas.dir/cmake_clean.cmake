@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpar_blas.dir/blas.cpp.o"
+  "CMakeFiles/vpar_blas.dir/blas.cpp.o.d"
+  "libvpar_blas.a"
+  "libvpar_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpar_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

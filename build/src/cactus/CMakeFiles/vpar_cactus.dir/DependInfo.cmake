@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cactus/adm.cpp" "src/cactus/CMakeFiles/vpar_cactus.dir/adm.cpp.o" "gcc" "src/cactus/CMakeFiles/vpar_cactus.dir/adm.cpp.o.d"
+  "/root/repo/src/cactus/boundary.cpp" "src/cactus/CMakeFiles/vpar_cactus.dir/boundary.cpp.o" "gcc" "src/cactus/CMakeFiles/vpar_cactus.dir/boundary.cpp.o.d"
+  "/root/repo/src/cactus/evolve.cpp" "src/cactus/CMakeFiles/vpar_cactus.dir/evolve.cpp.o" "gcc" "src/cactus/CMakeFiles/vpar_cactus.dir/evolve.cpp.o.d"
+  "/root/repo/src/cactus/exchange3d.cpp" "src/cactus/CMakeFiles/vpar_cactus.dir/exchange3d.cpp.o" "gcc" "src/cactus/CMakeFiles/vpar_cactus.dir/exchange3d.cpp.o.d"
+  "/root/repo/src/cactus/workload.cpp" "src/cactus/CMakeFiles/vpar_cactus.dir/workload.cpp.o" "gcc" "src/cactus/CMakeFiles/vpar_cactus.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/vpar_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/simrt/CMakeFiles/vpar_simrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/vpar_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpar_cactus.dir/adm.cpp.o"
+  "CMakeFiles/vpar_cactus.dir/adm.cpp.o.d"
+  "CMakeFiles/vpar_cactus.dir/boundary.cpp.o"
+  "CMakeFiles/vpar_cactus.dir/boundary.cpp.o.d"
+  "CMakeFiles/vpar_cactus.dir/evolve.cpp.o"
+  "CMakeFiles/vpar_cactus.dir/evolve.cpp.o.d"
+  "CMakeFiles/vpar_cactus.dir/exchange3d.cpp.o"
+  "CMakeFiles/vpar_cactus.dir/exchange3d.cpp.o.d"
+  "CMakeFiles/vpar_cactus.dir/workload.cpp.o"
+  "CMakeFiles/vpar_cactus.dir/workload.cpp.o.d"
+  "libvpar_cactus.a"
+  "libvpar_cactus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpar_cactus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/app_registry.cpp" "src/core/CMakeFiles/vpar_core.dir/app_registry.cpp.o" "gcc" "src/core/CMakeFiles/vpar_core.dir/app_registry.cpp.o.d"
+  "/root/repo/src/core/profile_builder.cpp" "src/core/CMakeFiles/vpar_core.dir/profile_builder.cpp.o" "gcc" "src/core/CMakeFiles/vpar_core.dir/profile_builder.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/vpar_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/vpar_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/table.cpp" "src/core/CMakeFiles/vpar_core.dir/table.cpp.o" "gcc" "src/core/CMakeFiles/vpar_core.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/vpar_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/vpar_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/simrt/CMakeFiles/vpar_simrt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpar_core.dir/app_registry.cpp.o"
+  "CMakeFiles/vpar_core.dir/app_registry.cpp.o.d"
+  "CMakeFiles/vpar_core.dir/profile_builder.cpp.o"
+  "CMakeFiles/vpar_core.dir/profile_builder.cpp.o.d"
+  "CMakeFiles/vpar_core.dir/report.cpp.o"
+  "CMakeFiles/vpar_core.dir/report.cpp.o.d"
+  "CMakeFiles/vpar_core.dir/table.cpp.o"
+  "CMakeFiles/vpar_core.dir/table.cpp.o.d"
+  "libvpar_core.a"
+  "libvpar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fft/fft1d.cpp" "src/fft/CMakeFiles/vpar_fft.dir/fft1d.cpp.o" "gcc" "src/fft/CMakeFiles/vpar_fft.dir/fft1d.cpp.o.d"
+  "/root/repo/src/fft/fft3d.cpp" "src/fft/CMakeFiles/vpar_fft.dir/fft3d.cpp.o" "gcc" "src/fft/CMakeFiles/vpar_fft.dir/fft3d.cpp.o.d"
+  "/root/repo/src/fft/fft3d_dist.cpp" "src/fft/CMakeFiles/vpar_fft.dir/fft3d_dist.cpp.o" "gcc" "src/fft/CMakeFiles/vpar_fft.dir/fft3d_dist.cpp.o.d"
+  "/root/repo/src/fft/fft_multi.cpp" "src/fft/CMakeFiles/vpar_fft.dir/fft_multi.cpp.o" "gcc" "src/fft/CMakeFiles/vpar_fft.dir/fft_multi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/vpar_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/simrt/CMakeFiles/vpar_simrt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

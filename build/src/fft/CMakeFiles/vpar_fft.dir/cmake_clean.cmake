@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpar_fft.dir/fft1d.cpp.o"
+  "CMakeFiles/vpar_fft.dir/fft1d.cpp.o.d"
+  "CMakeFiles/vpar_fft.dir/fft3d.cpp.o"
+  "CMakeFiles/vpar_fft.dir/fft3d.cpp.o.d"
+  "CMakeFiles/vpar_fft.dir/fft3d_dist.cpp.o"
+  "CMakeFiles/vpar_fft.dir/fft3d_dist.cpp.o.d"
+  "CMakeFiles/vpar_fft.dir/fft_multi.cpp.o"
+  "CMakeFiles/vpar_fft.dir/fft_multi.cpp.o.d"
+  "libvpar_fft.a"
+  "libvpar_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpar_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gtc/deposition.cpp" "src/gtc/CMakeFiles/vpar_gtc.dir/deposition.cpp.o" "gcc" "src/gtc/CMakeFiles/vpar_gtc.dir/deposition.cpp.o.d"
+  "/root/repo/src/gtc/poisson.cpp" "src/gtc/CMakeFiles/vpar_gtc.dir/poisson.cpp.o" "gcc" "src/gtc/CMakeFiles/vpar_gtc.dir/poisson.cpp.o.d"
+  "/root/repo/src/gtc/push.cpp" "src/gtc/CMakeFiles/vpar_gtc.dir/push.cpp.o" "gcc" "src/gtc/CMakeFiles/vpar_gtc.dir/push.cpp.o.d"
+  "/root/repo/src/gtc/shift.cpp" "src/gtc/CMakeFiles/vpar_gtc.dir/shift.cpp.o" "gcc" "src/gtc/CMakeFiles/vpar_gtc.dir/shift.cpp.o.d"
+  "/root/repo/src/gtc/simulation.cpp" "src/gtc/CMakeFiles/vpar_gtc.dir/simulation.cpp.o" "gcc" "src/gtc/CMakeFiles/vpar_gtc.dir/simulation.cpp.o.d"
+  "/root/repo/src/gtc/workload.cpp" "src/gtc/CMakeFiles/vpar_gtc.dir/workload.cpp.o" "gcc" "src/gtc/CMakeFiles/vpar_gtc.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/vpar_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/simrt/CMakeFiles/vpar_simrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/vpar_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/vpar_fft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

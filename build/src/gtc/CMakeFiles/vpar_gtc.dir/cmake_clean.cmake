@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpar_gtc.dir/deposition.cpp.o"
+  "CMakeFiles/vpar_gtc.dir/deposition.cpp.o.d"
+  "CMakeFiles/vpar_gtc.dir/poisson.cpp.o"
+  "CMakeFiles/vpar_gtc.dir/poisson.cpp.o.d"
+  "CMakeFiles/vpar_gtc.dir/push.cpp.o"
+  "CMakeFiles/vpar_gtc.dir/push.cpp.o.d"
+  "CMakeFiles/vpar_gtc.dir/shift.cpp.o"
+  "CMakeFiles/vpar_gtc.dir/shift.cpp.o.d"
+  "CMakeFiles/vpar_gtc.dir/simulation.cpp.o"
+  "CMakeFiles/vpar_gtc.dir/simulation.cpp.o.d"
+  "CMakeFiles/vpar_gtc.dir/workload.cpp.o"
+  "CMakeFiles/vpar_gtc.dir/workload.cpp.o.d"
+  "libvpar_gtc.a"
+  "libvpar_gtc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpar_gtc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

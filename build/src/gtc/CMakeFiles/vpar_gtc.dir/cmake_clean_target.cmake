@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvpar_gtc.a"
+)

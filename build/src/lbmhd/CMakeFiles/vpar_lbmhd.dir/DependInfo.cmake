@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lbmhd/collision.cpp" "src/lbmhd/CMakeFiles/vpar_lbmhd.dir/collision.cpp.o" "gcc" "src/lbmhd/CMakeFiles/vpar_lbmhd.dir/collision.cpp.o.d"
+  "/root/repo/src/lbmhd/exchange.cpp" "src/lbmhd/CMakeFiles/vpar_lbmhd.dir/exchange.cpp.o" "gcc" "src/lbmhd/CMakeFiles/vpar_lbmhd.dir/exchange.cpp.o.d"
+  "/root/repo/src/lbmhd/simulation.cpp" "src/lbmhd/CMakeFiles/vpar_lbmhd.dir/simulation.cpp.o" "gcc" "src/lbmhd/CMakeFiles/vpar_lbmhd.dir/simulation.cpp.o.d"
+  "/root/repo/src/lbmhd/stream.cpp" "src/lbmhd/CMakeFiles/vpar_lbmhd.dir/stream.cpp.o" "gcc" "src/lbmhd/CMakeFiles/vpar_lbmhd.dir/stream.cpp.o.d"
+  "/root/repo/src/lbmhd/workload.cpp" "src/lbmhd/CMakeFiles/vpar_lbmhd.dir/workload.cpp.o" "gcc" "src/lbmhd/CMakeFiles/vpar_lbmhd.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/vpar_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/simrt/CMakeFiles/vpar_simrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/vpar_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpar_lbmhd.dir/collision.cpp.o"
+  "CMakeFiles/vpar_lbmhd.dir/collision.cpp.o.d"
+  "CMakeFiles/vpar_lbmhd.dir/exchange.cpp.o"
+  "CMakeFiles/vpar_lbmhd.dir/exchange.cpp.o.d"
+  "CMakeFiles/vpar_lbmhd.dir/simulation.cpp.o"
+  "CMakeFiles/vpar_lbmhd.dir/simulation.cpp.o.d"
+  "CMakeFiles/vpar_lbmhd.dir/stream.cpp.o"
+  "CMakeFiles/vpar_lbmhd.dir/stream.cpp.o.d"
+  "CMakeFiles/vpar_lbmhd.dir/workload.cpp.o"
+  "CMakeFiles/vpar_lbmhd.dir/workload.cpp.o.d"
+  "libvpar_lbmhd.a"
+  "libvpar_lbmhd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpar_lbmhd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

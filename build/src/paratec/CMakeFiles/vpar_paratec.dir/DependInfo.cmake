@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/paratec/basis.cpp" "src/paratec/CMakeFiles/vpar_paratec.dir/basis.cpp.o" "gcc" "src/paratec/CMakeFiles/vpar_paratec.dir/basis.cpp.o.d"
+  "/root/repo/src/paratec/hamiltonian.cpp" "src/paratec/CMakeFiles/vpar_paratec.dir/hamiltonian.cpp.o" "gcc" "src/paratec/CMakeFiles/vpar_paratec.dir/hamiltonian.cpp.o.d"
+  "/root/repo/src/paratec/layout.cpp" "src/paratec/CMakeFiles/vpar_paratec.dir/layout.cpp.o" "gcc" "src/paratec/CMakeFiles/vpar_paratec.dir/layout.cpp.o.d"
+  "/root/repo/src/paratec/linalg.cpp" "src/paratec/CMakeFiles/vpar_paratec.dir/linalg.cpp.o" "gcc" "src/paratec/CMakeFiles/vpar_paratec.dir/linalg.cpp.o.d"
+  "/root/repo/src/paratec/scf.cpp" "src/paratec/CMakeFiles/vpar_paratec.dir/scf.cpp.o" "gcc" "src/paratec/CMakeFiles/vpar_paratec.dir/scf.cpp.o.d"
+  "/root/repo/src/paratec/solver.cpp" "src/paratec/CMakeFiles/vpar_paratec.dir/solver.cpp.o" "gcc" "src/paratec/CMakeFiles/vpar_paratec.dir/solver.cpp.o.d"
+  "/root/repo/src/paratec/transform.cpp" "src/paratec/CMakeFiles/vpar_paratec.dir/transform.cpp.o" "gcc" "src/paratec/CMakeFiles/vpar_paratec.dir/transform.cpp.o.d"
+  "/root/repo/src/paratec/workload.cpp" "src/paratec/CMakeFiles/vpar_paratec.dir/workload.cpp.o" "gcc" "src/paratec/CMakeFiles/vpar_paratec.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/vpar_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/simrt/CMakeFiles/vpar_simrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/vpar_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/vpar_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/vpar_blas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

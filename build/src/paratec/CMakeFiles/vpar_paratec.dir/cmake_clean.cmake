@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpar_paratec.dir/basis.cpp.o"
+  "CMakeFiles/vpar_paratec.dir/basis.cpp.o.d"
+  "CMakeFiles/vpar_paratec.dir/hamiltonian.cpp.o"
+  "CMakeFiles/vpar_paratec.dir/hamiltonian.cpp.o.d"
+  "CMakeFiles/vpar_paratec.dir/layout.cpp.o"
+  "CMakeFiles/vpar_paratec.dir/layout.cpp.o.d"
+  "CMakeFiles/vpar_paratec.dir/linalg.cpp.o"
+  "CMakeFiles/vpar_paratec.dir/linalg.cpp.o.d"
+  "CMakeFiles/vpar_paratec.dir/scf.cpp.o"
+  "CMakeFiles/vpar_paratec.dir/scf.cpp.o.d"
+  "CMakeFiles/vpar_paratec.dir/solver.cpp.o"
+  "CMakeFiles/vpar_paratec.dir/solver.cpp.o.d"
+  "CMakeFiles/vpar_paratec.dir/transform.cpp.o"
+  "CMakeFiles/vpar_paratec.dir/transform.cpp.o.d"
+  "CMakeFiles/vpar_paratec.dir/workload.cpp.o"
+  "CMakeFiles/vpar_paratec.dir/workload.cpp.o.d"
+  "libvpar_paratec.a"
+  "libvpar_paratec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpar_paratec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

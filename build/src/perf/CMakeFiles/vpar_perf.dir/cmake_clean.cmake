@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpar_perf.dir/kernel_profile.cpp.o"
+  "CMakeFiles/vpar_perf.dir/kernel_profile.cpp.o.d"
+  "CMakeFiles/vpar_perf.dir/recorder.cpp.o"
+  "CMakeFiles/vpar_perf.dir/recorder.cpp.o.d"
+  "libvpar_perf.a"
+  "libvpar_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpar_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simrt/communicator.cpp" "src/simrt/CMakeFiles/vpar_simrt.dir/communicator.cpp.o" "gcc" "src/simrt/CMakeFiles/vpar_simrt.dir/communicator.cpp.o.d"
+  "/root/repo/src/simrt/mailbox.cpp" "src/simrt/CMakeFiles/vpar_simrt.dir/mailbox.cpp.o" "gcc" "src/simrt/CMakeFiles/vpar_simrt.dir/mailbox.cpp.o.d"
+  "/root/repo/src/simrt/runtime.cpp" "src/simrt/CMakeFiles/vpar_simrt.dir/runtime.cpp.o" "gcc" "src/simrt/CMakeFiles/vpar_simrt.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/vpar_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpar_simrt.dir/communicator.cpp.o"
+  "CMakeFiles/vpar_simrt.dir/communicator.cpp.o.d"
+  "CMakeFiles/vpar_simrt.dir/mailbox.cpp.o"
+  "CMakeFiles/vpar_simrt.dir/mailbox.cpp.o.d"
+  "CMakeFiles/vpar_simrt.dir/runtime.cpp.o"
+  "CMakeFiles/vpar_simrt.dir/runtime.cpp.o.d"
+  "libvpar_simrt.a"
+  "libvpar_simrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpar_simrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blas.dir/test_blas.cpp.o"
+  "CMakeFiles/test_blas.dir/test_blas.cpp.o.d"
+  "test_blas"
+  "test_blas.pdb"
+  "test_blas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

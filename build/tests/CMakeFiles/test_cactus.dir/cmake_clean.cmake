@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cactus.dir/test_cactus.cpp.o"
+  "CMakeFiles/test_cactus.dir/test_cactus.cpp.o.d"
+  "test_cactus"
+  "test_cactus.pdb"
+  "test_cactus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cactus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

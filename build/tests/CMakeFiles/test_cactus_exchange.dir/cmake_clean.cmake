@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cactus_exchange.dir/test_cactus_exchange.cpp.o"
+  "CMakeFiles/test_cactus_exchange.dir/test_cactus_exchange.cpp.o.d"
+  "test_cactus_exchange"
+  "test_cactus_exchange.pdb"
+  "test_cactus_exchange[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cactus_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

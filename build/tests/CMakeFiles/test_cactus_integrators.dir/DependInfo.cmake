@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cactus_integrators.cpp" "tests/CMakeFiles/test_cactus_integrators.dir/test_cactus_integrators.cpp.o" "gcc" "tests/CMakeFiles/test_cactus_integrators.dir/test_cactus_integrators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cactus/CMakeFiles/vpar_cactus.dir/DependInfo.cmake"
+  "/root/repo/build/src/simrt/CMakeFiles/vpar_simrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/vpar_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/vpar_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

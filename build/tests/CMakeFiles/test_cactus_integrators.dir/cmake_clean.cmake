@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cactus_integrators.dir/test_cactus_integrators.cpp.o"
+  "CMakeFiles/test_cactus_integrators.dir/test_cactus_integrators.cpp.o.d"
+  "test_cactus_integrators"
+  "test_cactus_integrators.pdb"
+  "test_cactus_integrators[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cactus_integrators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

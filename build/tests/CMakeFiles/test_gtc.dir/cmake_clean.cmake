@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gtc.dir/test_gtc.cpp.o"
+  "CMakeFiles/test_gtc.dir/test_gtc.cpp.o.d"
+  "test_gtc"
+  "test_gtc.pdb"
+  "test_gtc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gtc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gtc_hybrid.dir/test_gtc_hybrid.cpp.o"
+  "CMakeFiles/test_gtc_hybrid.dir/test_gtc_hybrid.cpp.o.d"
+  "test_gtc_hybrid"
+  "test_gtc_hybrid.pdb"
+  "test_gtc_hybrid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gtc_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

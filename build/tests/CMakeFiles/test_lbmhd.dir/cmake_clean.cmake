@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lbmhd.dir/test_lbmhd.cpp.o"
+  "CMakeFiles/test_lbmhd.dir/test_lbmhd.cpp.o.d"
+  "test_lbmhd"
+  "test_lbmhd.pdb"
+  "test_lbmhd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lbmhd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lbmhd_physics.dir/test_lbmhd_physics.cpp.o"
+  "CMakeFiles/test_lbmhd_physics.dir/test_lbmhd_physics.cpp.o.d"
+  "test_lbmhd_physics"
+  "test_lbmhd_physics.pdb"
+  "test_lbmhd_physics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lbmhd_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

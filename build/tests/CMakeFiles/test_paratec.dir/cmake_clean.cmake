@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paratec.dir/test_paratec.cpp.o"
+  "CMakeFiles/test_paratec.dir/test_paratec.cpp.o.d"
+  "test_paratec"
+  "test_paratec.pdb"
+  "test_paratec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paratec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

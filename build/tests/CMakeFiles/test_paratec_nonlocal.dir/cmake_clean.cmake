@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paratec_nonlocal.dir/test_paratec_nonlocal.cpp.o"
+  "CMakeFiles/test_paratec_nonlocal.dir/test_paratec_nonlocal.cpp.o.d"
+  "test_paratec_nonlocal"
+  "test_paratec_nonlocal.pdb"
+  "test_paratec_nonlocal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paratec_nonlocal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

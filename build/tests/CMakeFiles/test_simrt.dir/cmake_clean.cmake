@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simrt.dir/test_simrt.cpp.o"
+  "CMakeFiles/test_simrt.dir/test_simrt.cpp.o.d"
+  "test_simrt"
+  "test_simrt.pdb"
+  "test_simrt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_perf[1]_include.cmake")
+include("/root/repo/build/tests/test_simrt[1]_include.cmake")
+include("/root/repo/build/tests/test_arch[1]_include.cmake")
+include("/root/repo/build/tests/test_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_blas[1]_include.cmake")
+include("/root/repo/build/tests/test_lbmhd[1]_include.cmake")
+include("/root/repo/build/tests/test_cactus[1]_include.cmake")
+include("/root/repo/build/tests/test_gtc[1]_include.cmake")
+include("/root/repo/build/tests/test_paratec[1]_include.cmake")
+include("/root/repo/build/tests/test_cactus_integrators[1]_include.cmake")
+include("/root/repo/build/tests/test_gtc_hybrid[1]_include.cmake")
+include("/root/repo/build/tests/test_lbmhd_physics[1]_include.cmake")
+include("/root/repo/build/tests/test_cactus_exchange[1]_include.cmake")
+include("/root/repo/build/tests/test_simrt_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_paratec_scf[1]_include.cmake")
+include("/root/repo/build/tests/test_paratec_nonlocal[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_shapes[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
