@@ -103,6 +103,7 @@ Cell lbmhd_cell(const arch::PlatformSpec& platform, std::size_t grid, int procs,
   const auto app = lbmhd::make_profile(cfg);
   Cell cell;
   cell.prediction = arch::MachineModel(platform).predict(app);
+  cell.app = app;
   cell.paper_gflops = paper_value(
       "lbmhd", caf ? platform.name + "caf" : platform.name,
       static_cast<int>(grid), procs);
@@ -117,6 +118,7 @@ Cell paratec_cell(const arch::PlatformSpec& platform, int atoms, int procs) {
   const auto app = paratec::make_profile(cfg);
   Cell cell;
   cell.prediction = arch::MachineModel(platform).predict(app);
+  cell.app = app;
   cell.paper_gflops = paper_value("paratec", platform.name, atoms, procs);
   return cell;
 }
@@ -144,6 +146,7 @@ Cell cactus_cell(const arch::PlatformSpec& platform, bool large, int procs) {
   const auto app = cactus::make_profile(cfg);
   Cell cell;
   cell.prediction = arch::MachineModel(platform).predict(app);
+  cell.app = app;
   cell.paper_gflops = paper_value("cactus", platform.name, large ? 1 : 0, procs);
   return cell;
 }
@@ -170,6 +173,7 @@ Cell gtc_cell(const arch::PlatformSpec& platform, int ppc, int procs, bool hybri
   const auto app = gtc::make_profile(cfg);
   Cell cell;
   cell.prediction = arch::MachineModel(platform).predict(app);
+  cell.app = app;
   cell.paper_gflops = paper_value("gtc", platform.name, ppc, procs);
   return cell;
 }

@@ -12,6 +12,7 @@ namespace vpar::bench {
 /// plus the paper's measured Gflops/P where the paper reports one.
 struct Cell {
   arch::Prediction prediction;
+  arch::AppProfile app;  ///< the synthesized workload behind the prediction
   std::optional<double> paper_gflops;
 };
 

@@ -85,5 +85,51 @@ int main() {
     t.print(std::cout);
     std::cout << "(* hybrid MPI/OpenMP beyond the 64 toroidal domains)\n";
   }
+
+  // Communication overlap: the ports post receives early / pipeline the
+  // transpose, so part of their transfer time is hidden behind compute on
+  // platforms with asynchronous progress (PlatformSpec::overlap_eff). The
+  // "no-ovl" column re-predicts the same profile with the credit disabled.
+  std::cout << "\n== Overlap credit: predicted comm time split (seconds/step-group) ==\n";
+
+  const auto overlap_row = [](const arch::PlatformSpec& spec,
+                              const arch::AppProfile& app) {
+    const auto pred = arch::MachineModel(spec).predict(app);
+    arch::PlatformSpec blocking = spec;
+    blocking.overlap_eff = 0.0;
+    const auto no_ovl = arch::MachineModel(blocking).predict(app);
+    return std::vector<std::string>{
+        spec.name,
+        core::fmt_fixed(pred.comm_serialized_seconds, 3),
+        core::fmt_fixed(pred.comm_overlapped_seconds, 3),
+        core::fmt_fixed(pred.comm_hidden_seconds, 3),
+        core::fmt_fixed(no_ovl.seconds, 3),
+        core::fmt_fixed(pred.seconds, 3),
+        core::fmt_fixed(app.comm.overlap_windows(), 0)};
+  };
+
+  std::cout << "\nGTC, 100 particles/cell, P=64 (ghost planes serialized, "
+               "shift migration overlapped):\n";
+  {
+    core::Table t({"platform", "comm ser", "comm ovl", "hidden", "wall no-ovl",
+                   "wall", "windows"});
+    for (const char* name : platforms) {
+      const auto& spec = arch::platform_by_name(name);
+      t.add_row(overlap_row(spec, gtc_cell(spec, 100, 64, false).app));
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\nPARATEC, 686 atoms, P=256 (pipelined FFT-transpose "
+               "all-to-all overlapped):\n";
+  {
+    core::Table t({"platform", "comm ser", "comm ovl", "hidden", "wall no-ovl",
+                   "wall", "windows"});
+    for (const char* name : platforms) {
+      const auto& spec = arch::platform_by_name(name);
+      t.add_row(overlap_row(spec, paratec_cell(spec, 686, 256).app));
+    }
+    t.print(std::cout);
+  }
   return 0;
 }

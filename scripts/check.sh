@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full check: regular build + tests, then the simrt runtime test binaries
+# under ThreadSanitizer (the threads-as-ranks runtime is the one place real
+# data races can hide).
+#
+# Usage: scripts/check.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-2}"
+
+echo "== regular build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+echo "== ThreadSanitizer build (simrt runtime tests) =="
+cmake -B build-tsan -S . -DVPAR_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j"$JOBS" \
+  --target test_simrt test_simrt_stress test_simrt_nonblocking
+
+for t in test_simrt test_simrt_stress test_simrt_nonblocking; do
+  echo "-- TSan: $t"
+  TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/$t"
+done
+
+echo "All checks passed."

@@ -1,12 +1,22 @@
 #include "arch/machine_model.hpp"
 
+#include <algorithm>
+
 namespace vpar::arch {
 
 Prediction MachineModel::predict(const AppProfile& app) const {
   Prediction p;
   p.platform = spec_->name;
   p.compute_seconds = cpu_.profile_seconds(app.kernels);
-  p.comm_seconds = net_.seconds(app.comm, app.procs);
+  const CommTime comm = net_.time(app.comm, app.procs);
+  p.comm_serialized_seconds = comm.serialized;
+  p.comm_overlapped_seconds = comm.overlapped;
+  // Overlap credit: of the hideable communication time, the platform hides
+  // the fraction its progress engine sustains (overlap_eff) — and never more
+  // than there is computation to hide it behind.
+  p.comm_hidden_seconds =
+      std::min(comm.overlapped * spec_->overlap_eff, p.compute_seconds);
+  p.comm_seconds = comm.total() - p.comm_hidden_seconds;
   p.seconds = p.compute_seconds + p.comm_seconds;
   p.region_seconds = cpu_.region_seconds(app.kernels);
 

@@ -28,7 +28,10 @@ struct Prediction {
   std::string platform;
   double seconds = 0.0;           ///< predicted wall-clock
   double compute_seconds = 0.0;
-  double comm_seconds = 0.0;
+  double comm_seconds = 0.0;      ///< charged comm time (after overlap credit)
+  double comm_serialized_seconds = 0.0;  ///< comm time with no overlap window
+  double comm_overlapped_seconds = 0.0;  ///< hideable comm time posted in windows
+  double comm_hidden_seconds = 0.0;      ///< part actually hidden behind compute
   double gflops_per_proc = 0.0;   ///< baseline flops / time / P
   double pct_peak = 0.0;          ///< gflops_per_proc / platform peak
   double vor = 0.0;               ///< vector platforms only, else 0

@@ -35,7 +35,7 @@ double NetworkModel::bisection_gbs_total(int procs) const {
   return ratio * spec_->peak_gflops * static_cast<double>(procs);
 }
 
-double NetworkModel::seconds(const perf::CommProfile& per_rank, int procs) const {
+CommTime NetworkModel::time(const perf::CommProfile& per_rank, int procs) const {
   using perf::CommKind;
   const double latency = spec_->mpi_latency_us * kMicro;
   double oneside_latency =
@@ -47,15 +47,19 @@ double NetworkModel::seconds(const perf::CommProfile& per_rank, int procs) const
   if (spec_->oneside_per_msg_us > 0.0) oneside_latency = spec_->oneside_per_msg_us * kMicro;
   const double link_bw = spec_->net_bw_gbs * kGiga;
 
-  double t = 0.0;
+  CommTime t;
 
-  // Nearest-neighbour / irregular point-to-point traffic.
-  t += per_rank.messages(CommKind::PointToPoint) * latency +
-       per_rank.bytes(CommKind::PointToPoint) / link_bw;
+  // Nearest-neighbour / irregular point-to-point traffic. Start-up latency
+  // is always serialized; the transfer time of bytes posted inside an
+  // overlap window is hideable.
+  t.serialized += per_rank.messages(CommKind::PointToPoint) * latency +
+                  per_rank.serialized_bytes(CommKind::PointToPoint) / link_bw;
+  t.overlapped += per_rank.overlapped_bytes(CommKind::PointToPoint) / link_bw;
 
   // One-sided (CAF) traffic: cheaper latency, no intermediate copies.
-  t += per_rank.messages(CommKind::OneSided) * oneside_latency +
-       per_rank.bytes(CommKind::OneSided) / link_bw;
+  t.serialized += per_rank.messages(CommKind::OneSided) * oneside_latency +
+                  per_rank.serialized_bytes(CommKind::OneSided) / link_bw;
+  t.overlapped += per_rank.overlapped_bytes(CommKind::OneSided) / link_bw;
 
   // Global transposes: injection-bound per rank AND bisection-bound globally.
   {
@@ -68,19 +72,28 @@ double NetworkModel::seconds(const perf::CommProfile& per_rank, int procs) const
           crossing / (bisection_gbs_total(procs) * kGiga * spec_->collective_eff);
       // msgs counts collective operations; pipelined pairwise exchanges cost
       // log-depth start-up latency per operation.
-      t += msgs * latency * log2ceil(procs) + std::max(injection, bisection);
+      const double transfer = std::max(injection, bisection);
+      // A pipelined transpose overlaps packing with the exchange rounds: the
+      // overlapped fraction of its bytes is hideable transfer time.
+      const double overlapped_frac =
+          bytes > 0.0 ? per_rank.overlapped_bytes(CommKind::AllToAll) / bytes : 0.0;
+      t.serialized += msgs * latency * log2ceil(procs) + transfer * (1.0 - overlapped_frac);
+      t.overlapped += transfer * overlapped_frac;
     }
   }
 
-  // Reductions and broadcasts: profiles already carry the log2(P) hop factor
-  // in their message/byte counts.
-  t += per_rank.messages(CommKind::Reduction) * latency +
-       per_rank.bytes(CommKind::Reduction) / link_bw;
-  t += per_rank.messages(CommKind::Broadcast) * latency +
-       per_rank.bytes(CommKind::Broadcast) / link_bw;
+  // Reductions, broadcasts and gathers synchronize the job: their profiles
+  // already carry the log2(P) hop factor in message/byte counts, and none of
+  // their time is hideable.
+  t.serialized += per_rank.messages(CommKind::Reduction) * latency +
+                  per_rank.bytes(CommKind::Reduction) / link_bw;
+  t.serialized += per_rank.messages(CommKind::Broadcast) * latency +
+                  per_rank.bytes(CommKind::Broadcast) / link_bw;
+  t.serialized += per_rank.messages(CommKind::Gather) * latency +
+                  per_rank.bytes(CommKind::Gather) / link_bw;
 
   // Barriers: a latency-bound log-depth exchange.
-  t += per_rank.messages(CommKind::Barrier) * latency * log2ceil(procs);
+  t.serialized += per_rank.messages(CommKind::Barrier) * latency * log2ceil(procs);
 
   return t;
 }

@@ -5,6 +5,19 @@
 
 namespace vpar::arch {
 
+/// Predicted communication time of one rank, split by whether the traffic
+/// was posted inside an overlap window (perf::OverlapScope) or not.
+/// `overlapped` is the *hideable* part: the bandwidth (transfer) component of
+/// traffic the application overlapped with computation. Start-up latency and
+/// all synchronizing collectives (reductions, broadcasts, gathers, barriers)
+/// are inherently serialized — a nonblocking post does not hide the rendez-
+/// vous at the end of the window.
+struct CommTime {
+  double serialized = 0.0;
+  double overlapped = 0.0;
+  [[nodiscard]] double total() const { return serialized + overlapped; }
+};
+
 /// Interconnect time model. Converts a per-rank CommProfile into predicted
 /// communication seconds on `procs` processors of the platform.
 ///
@@ -18,8 +31,15 @@ class NetworkModel {
  public:
   explicit NetworkModel(const PlatformSpec& spec) : spec_(&spec) {}
 
-  /// Predicted communication seconds for one rank's profile at `procs` ranks.
-  [[nodiscard]] double seconds(const perf::CommProfile& per_rank, int procs) const;
+  /// Predicted communication time for one rank's profile at `procs` ranks,
+  /// split into serialized and hideable (overlapped) components.
+  [[nodiscard]] CommTime time(const perf::CommProfile& per_rank, int procs) const;
+
+  /// Total predicted communication seconds (serialized + overlapped), i.e.
+  /// the communication time with no overlap credit applied.
+  [[nodiscard]] double seconds(const perf::CommProfile& per_rank, int procs) const {
+    return time(per_rank, procs).total();
+  }
 
   /// Aggregate bisection bandwidth (GB/s) of a `procs`-processor machine.
   [[nodiscard]] double bisection_gbs_total(int procs) const;

@@ -62,6 +62,13 @@ struct PlatformSpec {
   double oneside_per_msg_us = 0.0;  ///< pipelined per-put overhead (0 = use
                                     ///< oneside_latency_us per message)
   bool supports_caf = false;
+
+  // --- communication/computation overlap ------------------------------------
+  double overlap_eff = 0.0;  ///< fraction of *overlapped* communication time
+                             ///< (traffic posted inside an OverlapScope) the
+                             ///< NIC/network can genuinely hide behind
+                             ///< computation; bounded by how asynchronous the
+                             ///< MPI progress engine is on each system
 };
 
 /// The five platforms of the study.

@@ -3,6 +3,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "perf/recorder.hpp"
+#include "simrt/request.hpp"
+
 namespace vpar::cactus {
 
 namespace {
@@ -119,22 +122,27 @@ void exchange_ghosts(simrt::Communicator& comm, const Decomp3D& d,
     const int plus = d.neighbor(axis, +1);
     const int tag = 200 + axis;
 
-    // Buffered sends first; receives after — no deadlock, partners may be
-    // asymmetric at non-periodic boundaries.
-    if (minus >= 0) comm.send<double>(minus, pack(gf, send_minus), tag);
-    if (plus >= 0) comm.send<double>(plus, pack(gf, send_plus), tag + 10);
+    // Ghost-face sizes are known from the decomposition, so both receives
+    // are posted before any packing: arriving faces land in place while this
+    // rank packs and posts its own boundary faces (partners may be
+    // asymmetric at non-periodic boundaries). Each axis sweep is one overlap
+    // window; unpacking happens after the waitall that closes it.
+    perf::OverlapScope window;
+    std::vector<double> recv_plus, recv_minus;
+    std::vector<simrt::Request> reqs;
     if (plus >= 0) {
-      std::vector<double> buf(static_cast<std::size_t>(gf.nfields()) *
-                              ghost_plus.volume());
-      comm.recv<double>(plus, std::span<double>(buf), tag);
-      unpack(gf, ghost_plus, buf);
+      recv_plus.resize(static_cast<std::size_t>(gf.nfields()) * ghost_plus.volume());
+      reqs.push_back(comm.irecv<double>(plus, recv_plus, tag));
     }
     if (minus >= 0) {
-      std::vector<double> buf(static_cast<std::size_t>(gf.nfields()) *
-                              ghost_minus.volume());
-      comm.recv<double>(minus, std::span<double>(buf), tag + 10);
-      unpack(gf, ghost_minus, buf);
+      recv_minus.resize(static_cast<std::size_t>(gf.nfields()) * ghost_minus.volume());
+      reqs.push_back(comm.irecv<double>(minus, recv_minus, tag + 10));
     }
+    if (minus >= 0) comm.isend<double>(minus, pack(gf, send_minus), tag).wait();
+    if (plus >= 0) comm.isend<double>(plus, pack(gf, send_plus), tag + 10).wait();
+    simrt::waitall(reqs);
+    if (plus >= 0) unpack(gf, ghost_plus, recv_plus);
+    if (minus >= 0) unpack(gf, ghost_minus, recv_minus);
   }
 }
 

@@ -41,36 +41,39 @@ std::vector<Complex> DistFft3d::global_transpose_fwd(const Grid3& work) {
   const std::size_t lny = local_ny();
   const auto P = static_cast<std::size_t>(procs_);
 
-  std::vector<std::vector<Complex>> outboxes(P);
-  for (std::size_t s = 0; s < P; ++s) {
-    auto& box = outboxes[s];
-    box.reserve(lnx * lny * nz_);
-    for (std::size_t xl = 0; xl < lnx; ++xl) {
-      for (std::size_t yl = 0; yl < lny; ++yl) {
-        const std::size_t y = s * lny + yl;
-        const Complex* row = work.data.data() + (xl * ny_ + y) * nz_;
-        box.insert(box.end(), row, row + nz_);
-      }
-    }
-  }
-  auto inboxes = comm_->alltoallv(outboxes);
-
+  // Pipelined transpose: each destination's block is packed just before its
+  // exchange round and each arriving block is scattered immediately, so the
+  // pack/unpack copy loops of round r run while rounds r±1 are in flight.
   std::vector<Complex> out(lny * nz_ * nx_);
-  for (std::size_t src = 0; src < P; ++src) {
-    const auto& box = inboxes[src];
-    const std::size_t src_lnx = nx_ / P;
-    if (box.size() != src_lnx * lny * nz_) {
-      throw std::runtime_error("DistFft3d: transpose block size mismatch");
-    }
-    for (std::size_t xl = 0; xl < src_lnx; ++xl) {
-      const std::size_t x = src * src_lnx + xl;
-      for (std::size_t yl = 0; yl < lny; ++yl) {
-        for (std::size_t z = 0; z < nz_; ++z) {
-          out[(yl * nz_ + z) * nx_ + x] = box[(xl * lny + yl) * nz_ + z];
+  comm_->alltoallv_pipelined<Complex>(
+      [&](int dest) {
+        const auto s = static_cast<std::size_t>(dest);
+        std::vector<Complex> box;
+        box.reserve(lnx * lny * nz_);
+        for (std::size_t xl = 0; xl < lnx; ++xl) {
+          for (std::size_t yl = 0; yl < lny; ++yl) {
+            const std::size_t y = s * lny + yl;
+            const Complex* row = work.data.data() + (xl * ny_ + y) * nz_;
+            box.insert(box.end(), row, row + nz_);
+          }
         }
-      }
-    }
-  }
+        return box;
+      },
+      [&](int src_rank, std::vector<Complex> box) {
+        const auto src = static_cast<std::size_t>(src_rank);
+        const std::size_t src_lnx = nx_ / P;
+        if (box.size() != src_lnx * lny * nz_) {
+          throw std::runtime_error("DistFft3d: transpose block size mismatch");
+        }
+        for (std::size_t xl = 0; xl < src_lnx; ++xl) {
+          const std::size_t x = src * src_lnx + xl;
+          for (std::size_t yl = 0; yl < lny; ++yl) {
+            for (std::size_t z = 0; z < nz_; ++z) {
+              out[(yl * nz_ + z) * nx_ + x] = box[(xl * lny + yl) * nz_ + z];
+            }
+          }
+        }
+      });
   return out;
 }
 
@@ -90,7 +93,6 @@ std::vector<Complex> DistFft3d::forward(const Grid3& slab) {
 Grid3 DistFft3d::inverse(const std::vector<Complex>& transposed) {
   const std::size_t lnx = local_nx();
   const std::size_t lny = local_ny();
-  const auto P = static_cast<std::size_t>(procs_);
   if (transposed.size() != lny * nz_ * nx_) {
     throw std::runtime_error("DistFft3d::inverse: input size mismatch");
   }
@@ -99,37 +101,38 @@ Grid3 DistFft3d::inverse(const std::vector<Complex>& transposed) {
   fx_.simultaneous(std::span<Complex>(spec), lny * nz_, true);
 
   // Reverse global transpose: send each destination rank its x-slab portion,
-  // ordered (xl, yl, z) — the same ordering the forward transpose used.
-  std::vector<std::vector<Complex>> outboxes(P);
-  for (std::size_t s = 0; s < P; ++s) {
-    auto& box = outboxes[s];
-    box.reserve(lnx * lny * nz_);
-    for (std::size_t xl = 0; xl < lnx; ++xl) {
-      const std::size_t x = s * lnx + xl;
-      for (std::size_t yl = 0; yl < lny; ++yl) {
-        for (std::size_t z = 0; z < nz_; ++z) {
-          box.push_back(spec[(yl * nz_ + z) * nx_ + x]);
-        }
-      }
-    }
-  }
-  auto inboxes = comm_->alltoallv(outboxes);
-
+  // ordered (xl, yl, z) — the same ordering the forward transpose used —
+  // through the same pipelined pack/exchange/unpack rounds.
   Grid3 work(lnx, ny_, nz_);
-  for (std::size_t src = 0; src < P; ++src) {
-    const auto& box = inboxes[src];
-    if (box.size() != lnx * lny * nz_) {
-      throw std::runtime_error("DistFft3d: inverse transpose block size mismatch");
-    }
-    for (std::size_t xl = 0; xl < lnx; ++xl) {
-      for (std::size_t yl = 0; yl < lny; ++yl) {
-        const std::size_t y = src * lny + yl;
-        for (std::size_t z = 0; z < nz_; ++z) {
-          work.data[(xl * ny_ + y) * nz_ + z] = box[(xl * lny + yl) * nz_ + z];
+  comm_->alltoallv_pipelined<Complex>(
+      [&](int dest) {
+        const auto s = static_cast<std::size_t>(dest);
+        std::vector<Complex> box;
+        box.reserve(lnx * lny * nz_);
+        for (std::size_t xl = 0; xl < lnx; ++xl) {
+          const std::size_t x = s * lnx + xl;
+          for (std::size_t yl = 0; yl < lny; ++yl) {
+            for (std::size_t z = 0; z < nz_; ++z) {
+              box.push_back(spec[(yl * nz_ + z) * nx_ + x]);
+            }
+          }
         }
-      }
-    }
-  }
+        return box;
+      },
+      [&](int src_rank, std::vector<Complex> box) {
+        const auto src = static_cast<std::size_t>(src_rank);
+        if (box.size() != lnx * lny * nz_) {
+          throw std::runtime_error("DistFft3d: inverse transpose block size mismatch");
+        }
+        for (std::size_t xl = 0; xl < lnx; ++xl) {
+          for (std::size_t yl = 0; yl < lny; ++yl) {
+            const std::size_t y = src * lny + yl;
+            for (std::size_t z = 0; z < nz_; ++z) {
+              work.data[(xl * ny_ + y) * nz_ + z] = box[(xl * lny + yl) * nz_ + z];
+            }
+          }
+        }
+      });
 
   fft_y_inplace(work, fy_, true);
   fz_.simultaneous(std::span<Complex>(work.data), lnx * ny_, true);

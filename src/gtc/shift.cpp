@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "perf/recorder.hpp"
+#include "simrt/request.hpp"
 
 namespace vpar::gtc {
 
@@ -115,30 +116,43 @@ std::size_t shift(simrt::Communicator& comm, const TorusGrid& grid,
     if (any_moving == 0) return total_sent;
     total_sent += moving;
 
-    auto send_right_buf = pack(particles, go_right);
-    auto send_left_buf = pack(particles, go_left);
-    // Remove in ascending combined order so back-swaps stay valid.
-    std::vector<std::size_t> all = go_left;
-    all.insert(all.end(), go_right.begin(), go_right.end());
-    std::sort(all.begin(), all.end());
-    remove_indices(particles, all);
-
-    // Exchange counts, then payloads (buffered sends: no deadlock).
-    const std::array<std::size_t, 1> nr{send_right_buf.size()};
-    const std::array<std::size_t, 1> nl{send_left_buf.size()};
+    // Migration sizes are known from the classification pass, so the count
+    // exchange is posted *before* packing: counts fly while markers are
+    // packed and compacted, then the sized payload receives are posted and
+    // the payloads exchanged by move. The whole migration round is one
+    // overlap window; the termination allreduce above stays outside it
+    // (reductions synchronize and hide nothing).
+    const std::array<std::size_t, 1> nr{go_right.size() * 6};
+    const std::array<std::size_t, 1> nl{go_left.size() * 6};
     std::array<std::size_t, 1> from_left{}, from_right{};
-    comm.send<std::size_t>(right, nr, kTagCount);
-    comm.send<std::size_t>(left, nl, kTagCount);
-    comm.recv<std::size_t>(left, std::span<std::size_t>(from_left), kTagCount);
-    comm.recv<std::size_t>(right, std::span<std::size_t>(from_right), kTagCount);
+    {
+      perf::OverlapScope window;
+      simrt::Request count_reqs[2] = {
+          comm.irecv<std::size_t>(left, from_left, kTagCount),
+          comm.irecv<std::size_t>(right, from_right, kTagCount)};
+      comm.isend<std::size_t>(right, std::span<const std::size_t>(nr), kTagCount)
+          .wait();
+      comm.isend<std::size_t>(left, std::span<const std::size_t>(nl), kTagCount)
+          .wait();
 
-    comm.send<double>(right, send_right_buf, kTagData);
-    comm.send<double>(left, send_left_buf, kTagData);
-    std::vector<double> in_left(from_left[0]), in_right(from_right[0]);
-    comm.recv<double>(left, std::span<double>(in_left), kTagData);
-    comm.recv<double>(right, std::span<double>(in_right), kTagData);
-    unpack_into(particles, in_left);
-    unpack_into(particles, in_right);
+      auto send_right_buf = pack(particles, go_right);
+      auto send_left_buf = pack(particles, go_left);
+      // Remove in ascending combined order so back-swaps stay valid.
+      std::vector<std::size_t> all = go_left;
+      all.insert(all.end(), go_right.begin(), go_right.end());
+      std::sort(all.begin(), all.end());
+      remove_indices(particles, all);
+
+      simrt::waitall(count_reqs);
+      std::vector<double> in_left(from_left[0]), in_right(from_right[0]);
+      simrt::Request data_reqs[2] = {comm.irecv<double>(left, in_left, kTagData),
+                                     comm.irecv<double>(right, in_right, kTagData)};
+      comm.isend<double>(right, std::move(send_right_buf), kTagData).wait();
+      comm.isend<double>(left, std::move(send_left_buf), kTagData).wait();
+      simrt::waitall(data_reqs);
+      unpack_into(particles, in_left);
+      unpack_into(particles, in_right);
+    }
   }
 }
 

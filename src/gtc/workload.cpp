@@ -150,11 +150,16 @@ arch::AppProfile make_profile(const Table6Config& c) {
 
   // --- communication ---------------------------------------------------------
   const double plane_bytes = plane_size * sizeof(double);
-  // Ghost charge flush + two E-field ghost planes per step.
+  // Ghost charge flush + two E-field ghost planes per step (serialized: the
+  // field solve consumes each plane as soon as it arrives).
   app.comm.record(perf::CommKind::PointToPoint, 3.0 * steps, 3.0 * plane_bytes * steps);
   // Migrating markers: 6 doubles each, shift_fraction of the population.
-  app.comm.record(perf::CommKind::PointToPoint, 4.0 * steps,
-                  c.shift_fraction * particles_rank * 6.0 * sizeof(double) * steps);
+  // shift() posts the count/payload receives before packing, so marker
+  // migration overlaps the pack/compact loops — one window per step.
+  app.comm.record_overlapped(
+      perf::CommKind::PointToPoint, 4.0 * steps,
+      c.shift_fraction * particles_rank * 6.0 * sizeof(double) * steps);
+  app.comm.record_overlap_window(steps);
   app.comm.record(perf::CommKind::Reduction, 2.0 * steps, 16.0 * steps);
 
   return app;

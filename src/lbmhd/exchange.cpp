@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "perf/recorder.hpp"
+#include "simrt/request.hpp"
+
 namespace vpar::lbmhd {
 
 namespace {
@@ -36,26 +39,37 @@ void exchange_mpi(simrt::Communicator& comm, const Decomp2D& d, FieldSet& fields
   const std::size_t stride = fields.stride();
 
   // --- X phase: pack boundary columns of all planes into one buffer -------
+  // Receives are posted before any packing so arriving boundary data lands
+  // directly in the ghost buffers while this rank is still packing its own —
+  // the overlap window the machine models credit on platforms with
+  // asynchronous progress (PlatformSpec::overlap_eff).
   const std::size_t xcount = static_cast<std::size_t>(FieldSet::kPlanes) * nyl * G;
   std::vector<double> send_east(xcount), send_west(xcount);
   std::vector<double> recv_west(xcount), recv_east(xcount);
 
-  std::size_t k = 0;
-  for (int p = 0; p < FieldSet::kPlanes; ++p) {
-    const double* plane = fields.plane(p);
-    for (std::size_t j = 0; j < nyl; ++j) {
-      const std::size_t row = fields.at(static_cast<std::ptrdiff_t>(j), 0);
-      for (int g = 0; g < G; ++g) {
-        send_east[k] = plane[row + nxl - G + static_cast<std::size_t>(g)];
-        send_west[k] = plane[row + static_cast<std::size_t>(g)];
-        ++k;
+  {
+    perf::OverlapScope window;
+    simrt::Request reqs[2] = {comm.irecv<double>(d.west(), recv_west, kTagX),
+                              comm.irecv<double>(d.east(), recv_east, kTagX2)};
+
+    std::size_t k = 0;
+    for (int p = 0; p < FieldSet::kPlanes; ++p) {
+      const double* plane = fields.plane(p);
+      for (std::size_t j = 0; j < nyl; ++j) {
+        const std::size_t row = fields.at(static_cast<std::ptrdiff_t>(j), 0);
+        for (int g = 0; g < G; ++g) {
+          send_east[k] = plane[row + nxl - G + static_cast<std::size_t>(g)];
+          send_west[k] = plane[row + static_cast<std::size_t>(g)];
+          ++k;
+        }
       }
     }
+    comm.isend<double>(d.east(), std::move(send_east), kTagX).wait();
+    comm.isend<double>(d.west(), std::move(send_west), kTagX2).wait();
+    simrt::waitall(reqs);
   }
-  comm.sendrecv<double>(d.east(), send_east, d.west(), recv_west, kTagX);
-  comm.sendrecv<double>(d.west(), send_west, d.east(), recv_east, kTagX2);
 
-  k = 0;
+  std::size_t k = 0;
   for (int p = 0; p < FieldSet::kPlanes; ++p) {
     double* plane = fields.plane(p);
     for (std::size_t j = 0; j < nyl; ++j) {
@@ -73,20 +87,27 @@ void exchange_mpi(simrt::Communicator& comm, const Decomp2D& d, FieldSet& fields
   std::vector<double> send_north(ycount), send_south(ycount);
   std::vector<double> recv_south(ycount), recv_north(ycount);
 
-  k = 0;
-  for (int p = 0; p < FieldSet::kPlanes; ++p) {
-    const double* plane = fields.plane(p);
-    for (int g = 0; g < G; ++g) {
-      const double* top =
-          plane + fields.at(static_cast<std::ptrdiff_t>(nyl) - G + g, -G);
-      const double* bottom = plane + fields.at(g, -G);
-      std::memcpy(&send_north[k], top, stride * sizeof(double));
-      std::memcpy(&send_south[k], bottom, stride * sizeof(double));
-      k += stride;
+  {
+    perf::OverlapScope window;
+    simrt::Request reqs[2] = {comm.irecv<double>(d.south(), recv_south, kTagY),
+                              comm.irecv<double>(d.north(), recv_north, kTagY2)};
+
+    k = 0;
+    for (int p = 0; p < FieldSet::kPlanes; ++p) {
+      const double* plane = fields.plane(p);
+      for (int g = 0; g < G; ++g) {
+        const double* top =
+            plane + fields.at(static_cast<std::ptrdiff_t>(nyl) - G + g, -G);
+        const double* bottom = plane + fields.at(g, -G);
+        std::memcpy(&send_north[k], top, stride * sizeof(double));
+        std::memcpy(&send_south[k], bottom, stride * sizeof(double));
+        k += stride;
+      }
     }
+    comm.isend<double>(d.north(), std::move(send_north), kTagY).wait();
+    comm.isend<double>(d.south(), std::move(send_south), kTagY2).wait();
+    simrt::waitall(reqs);
   }
-  comm.sendrecv<double>(d.north(), send_north, d.south(), recv_south, kTagY);
-  comm.sendrecv<double>(d.south(), send_south, d.north(), recv_north, kTagY2);
 
   k = 0;
   for (int p = 0; p < FieldSet::kPlanes; ++p) {
@@ -124,7 +145,10 @@ void exchange_caf(simrt::CoArray<double>& ca, const Decomp2D& d, FieldSet& field
   // --- X phase: put my boundary columns into neighbours' ghost columns.
   // CAF subscript notation on a non-contiguous face: one small put per
   // (plane, row) — many short messages, exactly the behaviour the paper
-  // attributes to the CAF port.
+  // attributes to the CAF port. The puts are fire-and-forget stores that
+  // retire while the loop keeps streaming: an overlap window until the
+  // closing sync_all.
+  perf::OverlapScope window;
   for (int p = 0; p < FieldSet::kPlanes; ++p) {
     const double* plane = fields.plane(p);
     const std::size_t pbase = block_offset + static_cast<std::size_t>(p) * plane_size;

@@ -169,10 +169,13 @@ arch::AppProfile make_profile(const Table4Config& c) {
   }
 
   // --- communication -----------------------------------------------------------
-  // Two sphere transposes per apply; only non-zero columns move.
+  // Two sphere transposes per apply; only non-zero columns move. The
+  // pipelined transpose packs/unpacks round r while rounds r±1 are in
+  // flight: each transform is one overlap window.
   const double bytes_per_transpose = ncols_loc * n * 16.0 * (1.0 - 1.0 / P);
-  app.comm.record(perf::CommKind::AllToAll, transforms,
-                  transforms * bytes_per_transpose);
+  app.comm.record_overlapped(perf::CommKind::AllToAll, transforms,
+                             transforms * bytes_per_transpose);
+  app.comm.record_overlap_window(transforms);
   // Subspace allreduces: 2 nb x nb matrices plus per-band scalars.
   const double log2p = std::ceil(std::log2(std::max(2.0, P)));
   app.comm.record(perf::CommKind::Reduction, (2.0 + 4.0 * nb) * iters * log2p,

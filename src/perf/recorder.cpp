@@ -4,6 +4,13 @@ namespace vpar::perf {
 
 namespace {
 thread_local Recorder* t_recorder = nullptr;
+thread_local int t_overlap_depth = 0;
+thread_local int t_suppress_depth = 0;
+
+bool overlappable(CommKind kind) {
+  return kind == CommKind::PointToPoint || kind == CommKind::OneSided ||
+         kind == CommKind::AllToAll;
+}
 }  // namespace
 
 Recorder* current_recorder() { return t_recorder; }
@@ -14,12 +21,31 @@ ScopedRecorder::ScopedRecorder(Recorder& recorder) : previous_(t_recorder) {
 
 ScopedRecorder::~ScopedRecorder() { t_recorder = previous_; }
 
+OverlapScope::OverlapScope() {
+  if (++t_overlap_depth == 1 && t_recorder != nullptr && t_suppress_depth == 0) {
+    t_recorder->comm().record_overlap_window();
+  }
+}
+
+OverlapScope::~OverlapScope() { --t_overlap_depth; }
+
+bool in_overlap_scope() { return t_overlap_depth > 0; }
+
+CommRecordSuppressor::CommRecordSuppressor() { ++t_suppress_depth; }
+
+CommRecordSuppressor::~CommRecordSuppressor() { --t_suppress_depth; }
+
 void record_loop(std::string_view region, const LoopRecord& rec) {
   if (t_recorder != nullptr) t_recorder->kernels().record(region, rec);
 }
 
 void record_comm(CommKind kind, double messages, double bytes) {
-  if (t_recorder != nullptr) t_recorder->comm().record(kind, messages, bytes);
+  if (t_recorder == nullptr || t_suppress_depth > 0) return;
+  if (t_overlap_depth > 0 && overlappable(kind)) {
+    t_recorder->comm().record_overlapped(kind, messages, bytes);
+  } else {
+    t_recorder->comm().record(kind, messages, bytes);
+  }
 }
 
 }  // namespace vpar::perf

@@ -53,6 +53,37 @@ class ScopedRecorder {
 void record_loop(std::string_view region, const LoopRecord& rec);
 
 /// Report a communication event (no-op without an installed recorder).
+/// Inside an OverlapScope, overlappable kinds (PointToPoint, OneSided,
+/// AllToAll) are recorded into the overlapped subset of the profile;
+/// synchronizing kinds (reductions, broadcasts, gathers, barriers) always
+/// count as serialized.
 void record_comm(CommKind kind, double messages, double bytes);
+
+/// Marks the current thread as being inside a communication overlap window:
+/// nonblocking transfers posted here proceed while the rank packs, unpacks or
+/// computes, so the network model may hide part of their cost behind
+/// computation. Opening a scope records one overlap window on the comm
+/// profile. Scopes nest; only the outermost records a window.
+class OverlapScope {
+ public:
+  OverlapScope();
+  ~OverlapScope();
+  OverlapScope(const OverlapScope&) = delete;
+  OverlapScope& operator=(const OverlapScope&) = delete;
+};
+
+/// True when the current thread is inside an OverlapScope.
+[[nodiscard]] bool in_overlap_scope();
+
+/// RAII suppression of record_comm on the current thread. The collectives
+/// use this around their internal point-to-point traffic so a collective is
+/// recorded once, as a collective, instead of as its constituent messages.
+class CommRecordSuppressor {
+ public:
+  CommRecordSuppressor();
+  ~CommRecordSuppressor();
+  CommRecordSuppressor(const CommRecordSuppressor&) = delete;
+  CommRecordSuppressor& operator=(const CommRecordSuppressor&) = delete;
+};
 
 }  // namespace vpar::perf

@@ -2,22 +2,44 @@
 
 namespace vpar::simrt {
 
-void Communicator::send_bytes(int dest, std::span<const std::byte> data, int tag) {
-  if (dest < 0 || dest >= size()) throw std::runtime_error("send: bad destination rank");
+void Communicator::raw_send(int dest, Payload payload, int tag) {
   Message msg;
   msg.source = rank_;
   msg.tag = tag;
-  msg.payload.assign(data.begin(), data.end());
+  msg.payload = std::move(payload);
   state_->mailboxes[static_cast<std::size_t>(dest)].deliver(std::move(msg));
+}
+
+Message Communicator::raw_receive(int source, int tag) {
+  return state_->mailboxes[static_cast<std::size_t>(rank_)].receive(source, tag);
+}
+
+void Communicator::send_bytes(int dest, std::span<const std::byte> data, int tag) {
+  check_dest_tag(dest, tag);
+  raw_send(dest, Payload::copy_of(data), tag);
   perf::record_comm(perf::CommKind::PointToPoint, 1.0, static_cast<double>(data.size()));
 }
 
+Request Communicator::isend_bytes(int dest, std::span<const std::byte> data, int tag) {
+  // Buffered semantics: the payload is captured on post, so the operation is
+  // already complete and the returned handle is a satisfied request.
+  send_bytes(dest, data, tag);
+  return Request();
+}
+
+Request Communicator::irecv_bytes(int source, std::span<std::byte> data, int tag) {
+  if (tag < kAnyTag) throw std::runtime_error("recv: bad tag");
+  return Request(
+      state_->mailboxes[static_cast<std::size_t>(rank_)].post_recv(source, tag, data));
+}
+
 void Communicator::recv_bytes(int source, std::span<std::byte> data, int tag) {
-  Message msg = state_->mailboxes[static_cast<std::size_t>(rank_)].receive(source, tag);
-  if (msg.payload.size() != data.size()) {
-    throw std::runtime_error("recv: payload size mismatch");
-  }
-  std::memcpy(data.data(), msg.payload.data(), data.size());
+  irecv_bytes(source, data, tag).wait();
+}
+
+Message Communicator::recv_message(int source, int tag) {
+  if (tag < kAnyTag) throw std::runtime_error("recv: bad tag");
+  return raw_receive(source, tag);
 }
 
 void Communicator::barrier() {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstring>
 #include <functional>
@@ -13,6 +14,7 @@
 #include "perf/recorder.hpp"
 #include "simrt/mailbox.hpp"
 #include "simrt/rendezvous.hpp"
+#include "simrt/request.hpp"
 
 namespace vpar::simrt {
 
@@ -35,11 +37,25 @@ struct RuntimeState {
   std::vector<perf::Recorder> recorders;
 };
 
-/// MPI-flavoured communicator bound to one rank of a simulated job. All
-/// blocking semantics are those of buffered MPI sends: send() copies the
-/// payload and returns immediately; recv() blocks until a matching message
-/// arrives. Every operation reports its volume to the installed
-/// perf::Recorder so network models can cost the run afterwards.
+/// MPI-flavoured communicator bound to one rank of a simulated job.
+///
+/// Point-to-point semantics are those of buffered MPI sends: send()/isend()
+/// enqueue the payload at the destination and return immediately (isend
+/// additionally hands large payloads off by move, with no eager copy);
+/// recv() blocks until a matching message arrives; irecv() posts the
+/// destination buffer so the transfer completes while the caller does other
+/// work, synchronized through the returned Request.
+///
+/// Collectives are built on log-depth pairwise exchanges over the mailboxes
+/// (binomial gather/broadcast trees, pipelined pairwise all-to-all); only
+/// barrier() still uses the global Rendezvous. User tags must be >= 0 — the
+/// negative tag space carries collective traffic, and kAnyTag wildcards
+/// match user messages only, so a wildcard receive can never steal a
+/// collective fragment.
+///
+/// Every operation reports its volume to the installed perf::Recorder so
+/// network models can cost the run afterwards; traffic posted inside a
+/// perf::OverlapScope is recorded as overlapped (see perf/comm_profile.hpp).
 class Communicator {
  public:
   Communicator(RuntimeState& state, int rank) : state_(&state), rank_(rank) {}
@@ -52,6 +68,18 @@ class Communicator {
   void send_bytes(int dest, std::span<const std::byte> data, int tag);
   void recv_bytes(int source, std::span<std::byte> data, int tag);
 
+  /// Nonblocking send (buffered: completes immediately, payload copied once).
+  Request isend_bytes(int dest, std::span<const std::byte> data, int tag);
+
+  /// Nonblocking receive into `data`; the buffer must stay valid until the
+  /// returned Request is waited on (or the Request is destroyed, which
+  /// cancels the receive).
+  [[nodiscard]] Request irecv_bytes(int source, std::span<std::byte> data, int tag);
+
+  /// Blocking receive of a message whose size the receiver does not know;
+  /// used by variable-size protocols (particle migration, transposes).
+  [[nodiscard]] Message recv_message(int source, int tag);
+
   template <typename T>
   void send(int dest, std::span<const T> data, int tag) {
     send_bytes(dest, std::as_bytes(data), tag);
@@ -59,6 +87,26 @@ class Communicator {
   template <typename T>
   void recv(int source, std::span<T> data, int tag) {
     recv_bytes(source, std::as_writable_bytes(data), tag);
+  }
+
+  template <typename T>
+  [[nodiscard]] Request isend(int dest, std::span<const T> data, int tag) {
+    return isend_bytes(dest, std::as_bytes(data), tag);
+  }
+
+  /// Move-handoff nonblocking send: adopts the vector with no payload copy.
+  template <typename T>
+  [[nodiscard]] Request isend(int dest, std::vector<T>&& data, int tag) {
+    check_dest_tag(dest, tag);
+    const double bytes = static_cast<double>(data.size() * sizeof(T));
+    raw_send(dest, Payload::adopt(std::move(data)), tag);
+    perf::record_comm(perf::CommKind::PointToPoint, 1.0, bytes);
+    return Request();
+  }
+
+  template <typename T>
+  [[nodiscard]] Request irecv(int source, std::span<T> data, int tag) {
+    return irecv_bytes(source, std::as_writable_bytes(data), tag);
   }
 
   /// Exchange: send to `dest` and receive from `source` with the same tag.
@@ -81,93 +129,251 @@ class Communicator {
     return result;
   }
 
-  /// Element-wise reduction of equal-length buffers across all ranks;
-  /// every rank receives the reduced vector in place.
+  /// Element-wise reduction of equal-length buffers across all ranks; every
+  /// rank receives the reduced vector in place. Internally: binomial-tree
+  /// gather of the raw contributions to rank 0, a sequential rank-ordered
+  /// fold there (bitwise-identical result on every rank, independent of the
+  /// tree shape), and a binomial broadcast of the reduced vector.
   template <typename T>
   void allreduce_inplace(std::span<T> values, ReduceOp op) {
-    std::vector<T> scratch(values.begin(), values.end());
-    state_->rendezvous.post(rank_, scratch.data());
-    state_->rendezvous.arrive_and_wait();
-    auto slots = state_->rendezvous.slots();
-    for (std::size_t i = 0; i < values.size(); ++i) {
-      T acc = static_cast<const T*>(slots[0])[i];
-      for (int r = 1; r < size(); ++r) {
-        const T v = static_cast<const T*>(slots[static_cast<std::size_t>(r)])[i];
-        acc = apply(acc, v, op);
+    const int P = size();
+    const std::size_t n = values.size();
+    if (P > 1) {
+      perf::CommRecordSuppressor mute;
+      // Gather phase: each rank accumulates the contributions of the
+      // contiguous rank block [rank, rank + 2^k) in rank order, then hands
+      // the block to its binomial parent.
+      std::vector<T> block(values.begin(), values.end());
+      bool sent = false;
+      for (int step = 1; step < P && !sent; step <<= 1) {
+        if ((rank_ & step) != 0) {
+          raw_send(rank_ - step, Payload::adopt(std::move(block)),
+                   kTagAllreduceGather);
+          sent = true;
+        } else if (rank_ + step < P) {
+          const int partner = rank_ + step;
+          const auto pcov = static_cast<std::size_t>(std::min(step, P - partner));
+          Message m = raw_receive(partner, kTagAllreduceGather);
+          if (m.payload.size() != pcov * n * sizeof(T)) {
+            throw std::runtime_error("allreduce: tree block size mismatch");
+          }
+          const auto old = block.size();
+          block.resize(old + pcov * n);
+          if (n > 0) {
+            std::memcpy(block.data() + old, m.payload.data(), m.payload.size());
+          }
+        }
       }
-      values[i] = acc;
+      if (rank_ == 0) {
+        // Fold left-to-right in rank order — the exact association the
+        // rendezvous implementation used, so numerics are unchanged.
+        for (std::size_t i = 0; i < n; ++i) {
+          T acc = block[i];
+          for (int r = 1; r < P; ++r) {
+            acc = apply(acc, block[static_cast<std::size_t>(r) * n + i], op);
+          }
+          values[i] = acc;
+        }
+      }
+      // Broadcast phase: after round k, ranks [0, 2^k) hold the result.
+      for (int step = 1; step < P; step <<= 1) {
+        if (rank_ < step) {
+          if (rank_ + step < P) {
+            raw_send(rank_ + step, Payload::copy_of(std::as_bytes(values)),
+                     kTagAllreduceBcast);
+          }
+        } else if (rank_ < 2 * step) {
+          Message m = raw_receive(rank_ - step, kTagAllreduceBcast);
+          if (m.payload.size() != n * sizeof(T)) {
+            throw std::runtime_error("allreduce: result size mismatch");
+          }
+          if (n > 0) std::memcpy(values.data(), m.payload.data(), m.payload.size());
+        }
+      }
     }
-    state_->rendezvous.arrive_and_wait();
-    const double bytes = static_cast<double>(values.size() * sizeof(T));
-    perf::record_comm(perf::CommKind::Reduction, log2ceil(size()), bytes * log2ceil(size()));
+    const double bytes = static_cast<double>(n * sizeof(T));
+    perf::record_comm(perf::CommKind::Reduction, log2ceil(P), bytes * log2ceil(P));
   }
 
+  /// Binomial-tree broadcast from `root`.
   template <typename T>
   void broadcast(std::span<T> values, int root) {
-    state_->rendezvous.post(rank_, values.data());
-    state_->rendezvous.arrive_and_wait();
-    if (rank_ != root) {
-      const auto* src = static_cast<const T*>(
-          state_->rendezvous.slots()[static_cast<std::size_t>(root)]);
-      std::memcpy(values.data(), src, values.size() * sizeof(T));
+    const int P = size();
+    check_root(root);
+    {
+      perf::CommRecordSuppressor mute;
+      const int vr = (rank_ - root + P) % P;
+      for (int step = 1; step < P; step <<= 1) {
+        if (vr < step) {
+          if (vr + step < P) {
+            raw_send((vr + step + root) % P,
+                     Payload::copy_of(std::as_bytes(std::span<const T>(values))),
+                     kTagBroadcast);
+          }
+        } else if (vr < 2 * step) {
+          Message m = raw_receive((vr - step + root) % P, kTagBroadcast);
+          if (m.payload.size() != values.size() * sizeof(T)) {
+            throw std::runtime_error("broadcast: size mismatch");
+          }
+          if (!values.empty()) {
+            std::memcpy(values.data(), m.payload.data(), m.payload.size());
+          }
+        }
+      }
     }
-    state_->rendezvous.arrive_and_wait();
     if (rank_ == root) {
       perf::record_comm(perf::CommKind::Broadcast, log2ceil(size()),
                         static_cast<double>(values.size() * sizeof(T)) * log2ceil(size()));
     }
   }
 
-  /// Gather equal-size contributions; on `root`, `out` must hold size()*n
-  /// elements and receives rank-ordered data. On other ranks `out` is ignored.
+  /// Gather contributions to `root` over a binomial tree; on `root`, `out`
+  /// receives rank-ordered data (contributions may differ in length; `out`
+  /// must hold their total). On other ranks `out` is ignored. Every rank
+  /// records the gather as a log-depth collective on its own contribution.
   template <typename T>
   void gather(std::span<const T> contribution, std::span<T> out, int root) {
-    Slot slot{const_cast<T*>(contribution.data()), contribution.size()};
-    state_->rendezvous.post(rank_, &slot);
-    state_->rendezvous.arrive_and_wait();
-    if (rank_ == root) {
-      std::size_t offset = 0;
-      for (int r = 0; r < size(); ++r) {
-        const auto* s = static_cast<const Slot*>(
-            state_->rendezvous.slots()[static_cast<std::size_t>(r)]);
-        if (offset + s->count > out.size()) {
+    const int P = size();
+    check_root(root);
+    {
+      perf::CommRecordSuppressor mute;
+      const int vr = (rank_ - root + P) % P;
+      // Accumulated block: per-virtual-rank element counts for the covered
+      // contiguous range [vr, vr + covered), then their concatenated data.
+      std::vector<std::uint64_t> counts{contribution.size()};
+      std::vector<T> data(contribution.begin(), contribution.end());
+      bool sent = false;
+      for (int step = 1; step < P && !sent; step <<= 1) {
+        if ((vr & step) != 0) {
+          std::vector<std::byte> wire(counts.size() * sizeof(std::uint64_t) +
+                                      data.size() * sizeof(T));
+          std::memcpy(wire.data(), counts.data(), counts.size() * sizeof(std::uint64_t));
+          if (!data.empty()) {
+            std::memcpy(wire.data() + counts.size() * sizeof(std::uint64_t),
+                        data.data(), data.size() * sizeof(T));
+          }
+          raw_send((vr - step + root) % P, Payload::adopt(std::move(wire)), kTagGather);
+          sent = true;
+        } else if (vr + step < P) {
+          const int pvr = vr + step;
+          const auto pcov = static_cast<std::size_t>(std::min(step, P - pvr));
+          Message m = raw_receive((pvr + root) % P, kTagGather);
+          if (m.payload.size() < pcov * sizeof(std::uint64_t)) {
+            throw std::runtime_error("gather: tree block header mismatch");
+          }
+          const auto old_counts = counts.size();
+          counts.resize(old_counts + pcov);
+          std::memcpy(counts.data() + old_counts, m.payload.data(),
+                      pcov * sizeof(std::uint64_t));
+          std::size_t elems = 0;
+          for (std::size_t i = old_counts; i < counts.size(); ++i) {
+            elems += static_cast<std::size_t>(counts[i]);
+          }
+          if (m.payload.size() != pcov * sizeof(std::uint64_t) + elems * sizeof(T)) {
+            throw std::runtime_error("gather: tree block size mismatch");
+          }
+          const auto old_data = data.size();
+          data.resize(old_data + elems);
+          if (elems > 0) {
+            std::memcpy(data.data() + old_data,
+                        m.payload.data() + pcov * sizeof(std::uint64_t),
+                        elems * sizeof(T));
+          }
+        }
+      }
+      if (vr == 0) {
+        // counts/data are ordered by virtual rank; lay out by real rank.
+        std::vector<std::size_t> real_count(static_cast<std::size_t>(P));
+        for (int v = 0; v < P; ++v) {
+          real_count[static_cast<std::size_t>((v + root) % P)] =
+              static_cast<std::size_t>(counts[static_cast<std::size_t>(v)]);
+        }
+        std::vector<std::size_t> offset(static_cast<std::size_t>(P), 0);
+        std::size_t total = 0;
+        for (int r = 0; r < P; ++r) {
+          offset[static_cast<std::size_t>(r)] = total;
+          total += real_count[static_cast<std::size_t>(r)];
+        }
+        if (total > out.size()) {
           throw std::runtime_error("gather: output buffer too small");
         }
-        std::memcpy(out.data() + offset, s->pointer, s->count * sizeof(T));
-        offset += s->count;
+        std::size_t consumed = 0;
+        for (int v = 0; v < P; ++v) {
+          const std::size_t cnt = static_cast<std::size_t>(counts[static_cast<std::size_t>(v)]);
+          if (cnt > 0) {
+            std::copy_n(data.data() + consumed, cnt,
+                        out.data() + offset[static_cast<std::size_t>((v + root) % P)]);
+          }
+          consumed += cnt;
+        }
       }
-    } else {
-      perf::record_comm(perf::CommKind::PointToPoint, 1.0,
-                        static_cast<double>(contribution.size() * sizeof(T)));
     }
-    state_->rendezvous.arrive_and_wait();
+    perf::record_comm(perf::CommKind::Gather, log2ceil(P),
+                      static_cast<double>(contribution.size() * sizeof(T)) * log2ceil(P));
   }
 
   /// Personalized all-to-all: `outboxes[d]` is this rank's data for rank `d`;
   /// the return value's element `s` holds the data rank `s` sent to this
-  /// rank. This is the global-transpose pattern of the distributed 3D FFT.
+  /// rank. Implemented as P-1 pipelined pairwise exchange rounds (round r
+  /// pairs rank with rank±r) — the global-transpose pattern of the
+  /// distributed 3D FFT, recorded as one overlapped AllToAll operation.
   template <typename T>
   [[nodiscard]] std::vector<std::vector<T>> alltoallv(
       const std::vector<std::vector<T>>& outboxes) {
-    if (static_cast<int>(outboxes.size()) != size()) {
+    const int P = size();
+    if (static_cast<int>(outboxes.size()) != P) {
       throw std::runtime_error("alltoallv: need one outbox per rank");
     }
-    state_->rendezvous.post(rank_, const_cast<std::vector<std::vector<T>>*>(&outboxes));
-    state_->rendezvous.arrive_and_wait();
-    std::vector<std::vector<T>> inboxes(static_cast<std::size_t>(size()));
+    perf::OverlapScope window;
+    std::vector<std::vector<T>> inboxes(static_cast<std::size_t>(P));
     double bytes = 0.0;
-    for (int s = 0; s < size(); ++s) {
-      const auto* their = static_cast<const std::vector<std::vector<T>>*>(
-          state_->rendezvous.slots()[static_cast<std::size_t>(s)]);
-      inboxes[static_cast<std::size_t>(s)] = (*their)[static_cast<std::size_t>(rank_)];
-      if (s != rank_) {
-        bytes += static_cast<double>(outboxes[static_cast<std::size_t>(s)].size() * sizeof(T));
+    {
+      perf::CommRecordSuppressor mute;
+      inboxes[static_cast<std::size_t>(rank_)] = outboxes[static_cast<std::size_t>(rank_)];
+      for (int r = 1; r < P; ++r) {
+        const auto dest = static_cast<std::size_t>((rank_ + r) % P);
+        const int src = (rank_ + P - r) % P;
+        bytes += static_cast<double>(outboxes[dest].size() * sizeof(T));
+        raw_send(static_cast<int>(dest),
+                 Payload::copy_of(std::as_bytes(std::span<const T>(outboxes[dest]))),
+                 kTagAlltoall);
+        Message m = raw_receive(src, kTagAlltoall);
+        auto& in = inboxes[static_cast<std::size_t>(src)];
+        in.resize(m.payload.size() / sizeof(T));
+        if (!in.empty()) std::memcpy(in.data(), m.payload.data(), m.payload.size());
       }
     }
-    state_->rendezvous.arrive_and_wait();
     // One collective operation; the network model charges log-depth latency.
     perf::record_comm(perf::CommKind::AllToAll, 1.0, bytes);
     return inboxes;
+  }
+
+  /// Streaming all-to-all for transpose pipelines: `pack(dest)` produces the
+  /// block for rank `dest` just before it is sent (by move, no payload
+  /// copy); `unpack(src, block)` consumes each arriving block immediately.
+  /// Packing and unpacking of round r thus overlap the traffic of rounds
+  /// r±1 — the overlap structure the ported FFT transpose relies on.
+  template <typename T, typename PackFn, typename UnpackFn>
+  void alltoallv_pipelined(PackFn&& pack, UnpackFn&& unpack) {
+    const int P = size();
+    perf::OverlapScope window;
+    double bytes = 0.0;
+    {
+      perf::CommRecordSuppressor mute;
+      unpack(rank_, pack(rank_));  // self block never crosses the wire
+      for (int r = 1; r < P; ++r) {
+        const int dest = (rank_ + r) % P;
+        const int src = (rank_ + P - r) % P;
+        std::vector<T> box = pack(dest);
+        bytes += static_cast<double>(box.size() * sizeof(T));
+        raw_send(dest, Payload::adopt(std::move(box)), kTagAlltoallPipe);
+        Message m = raw_receive(src, kTagAlltoallPipe);
+        std::vector<T> in(m.payload.size() / sizeof(T));
+        if (!in.empty()) std::memcpy(in.data(), m.payload.data(), m.payload.size());
+        unpack(src, std::move(in));
+      }
+    }
+    perf::record_comm(perf::CommKind::AllToAll, 1.0, bytes);
   }
 
   // --- registry (used by CoArray and other collective objects) -------------
@@ -194,10 +400,28 @@ class Communicator {
   [[nodiscard]] RuntimeState& state() { return *state_; }
 
  private:
-  struct Slot {
-    void* pointer;
-    std::size_t count;
-  };
+  // Collective traffic rides in the negative tag space (kAnyTag wildcards
+  // match user tags >= 0 only), one tag per collective phase; correctness
+  // across back-to-back collectives follows from SPMD program order plus the
+  // mailbox's per-(sender, tag) FIFO guarantee.
+  static constexpr int kTagAllreduceGather = -10;
+  static constexpr int kTagAllreduceBcast = -11;
+  static constexpr int kTagBroadcast = -12;
+  static constexpr int kTagGather = -13;
+  static constexpr int kTagAlltoall = -14;
+  static constexpr int kTagAlltoallPipe = -15;
+
+  void check_dest_tag(int dest, int tag) const {
+    if (dest < 0 || dest >= size()) throw std::runtime_error("send: bad destination rank");
+    if (tag < 0) throw std::runtime_error("send: user tags must be >= 0");
+  }
+  void check_root(int root) const {
+    if (root < 0 || root >= size()) throw std::runtime_error("collective: bad root rank");
+  }
+
+  /// Unrecorded, unvalidated delivery — the transport under the collectives.
+  void raw_send(int dest, Payload payload, int tag);
+  [[nodiscard]] Message raw_receive(int source, int tag);
 
   template <typename T>
   static T apply(T a, T b, ReduceOp op) {

@@ -1,12 +1,44 @@
 #include "simrt/mailbox.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <string>
 
 namespace vpar::simrt {
+
+void Mailbox::complete_locked(RequestState& rs, const Message& msg) {
+  if (msg.payload.size() != rs.dest.size()) {
+    rs.error = "recv: payload size mismatch (got " +
+               std::to_string(msg.payload.size()) + " bytes, posted " +
+               std::to_string(rs.dest.size()) + ")";
+  } else if (!rs.dest.empty()) {
+    std::memcpy(rs.dest.data(), msg.payload.data(), rs.dest.size());
+  }
+  rs.complete = true;
+  rs.cv.notify_all();
+}
 
 void Mailbox::deliver(Message msg) {
   {
     std::lock_guard lock(mutex_);
+    // Posted receives have matching priority, oldest first. Cancelled
+    // entries (abandoned Requests) are pruned as we walk. The local copy of
+    // the shared state keeps it alive past the erase: the pending list may
+    // hold the last reference, and the state must outlive its own lock.
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      std::shared_ptr<RequestState> rs = *it;
+      std::lock_guard state_lock(rs->mutex);
+      if (rs->cancelled) {
+        it = pending_.erase(it);
+        continue;
+      }
+      if (matches(msg.source, msg.tag, rs->want_source, rs->want_tag)) {
+        complete_locked(*rs, msg);
+        pending_.erase(it);
+        return;
+      }
+      ++it;
+    }
     queue_.push_back(std::move(msg));
   }
   cv_.notify_all();
@@ -15,8 +47,9 @@ void Mailbox::deliver(Message msg) {
 Message Mailbox::receive(int source, int tag) {
   std::unique_lock lock(mutex_);
   for (;;) {
-    auto it = std::find_if(queue_.begin(), queue_.end(),
-                           [&](const Message& m) { return matches(m, source, tag); });
+    auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
+      return matches(m.source, m.tag, source, tag);
+    });
     if (it != queue_.end()) {
       Message msg = std::move(*it);
       queue_.erase(it);
@@ -26,10 +59,32 @@ Message Mailbox::receive(int source, int tag) {
   }
 }
 
+std::shared_ptr<RequestState> Mailbox::post_recv(int source, int tag,
+                                                 std::span<std::byte> dest) {
+  auto state = std::make_shared<RequestState>();
+  state->want_source = source;
+  state->want_tag = tag;
+  state->dest = dest;
+
+  std::lock_guard lock(mutex_);
+  auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
+    return matches(m.source, m.tag, source, tag);
+  });
+  if (it != queue_.end()) {
+    std::lock_guard state_lock(state->mutex);
+    complete_locked(*state, *it);
+    queue_.erase(it);
+  } else {
+    pending_.push_back(state);
+  }
+  return state;
+}
+
 bool Mailbox::probe(int source, int tag) {
   std::lock_guard lock(mutex_);
-  return std::any_of(queue_.begin(), queue_.end(),
-                     [&](const Message& m) { return matches(m, source, tag); });
+  return std::any_of(queue_.begin(), queue_.end(), [&](const Message& m) {
+    return matches(m.source, m.tag, source, tag);
+  });
 }
 
 }  // namespace vpar::simrt

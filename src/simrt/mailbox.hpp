@@ -4,47 +4,110 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <vector>
+
+#include "simrt/request.hpp"
 
 namespace vpar::simrt {
 
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
 
+/// Type-erased immutable message payload. Large buffers are handed off by
+/// *move*: adopt() takes ownership of the sender's vector (any element type)
+/// with no copy; copy_of() is the fallback for borrowed spans. The payload
+/// is copied exactly once, into the receiver's destination buffer, at match
+/// time.
+class Payload {
+ public:
+  Payload() = default;
+
+  static Payload copy_of(std::span<const std::byte> data) {
+    Payload p;
+    auto owned = std::make_shared<std::vector<std::byte>>(data.begin(), data.end());
+    p.data_ = owned->data();
+    p.size_ = owned->size();
+    p.owner_ = std::move(owned);
+    return p;
+  }
+
+  template <typename T>
+  static Payload adopt(std::vector<T>&& v) {
+    Payload p;
+    auto owned = std::make_shared<std::vector<T>>(std::move(v));
+    p.data_ = reinterpret_cast<const std::byte*>(owned->data());
+    p.size_ = owned->size() * sizeof(T);
+    p.owner_ = std::move(owned);
+    return p;
+  }
+
+  [[nodiscard]] const std::byte* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::span<const std::byte> bytes() const { return {data_, size_}; }
+
+ private:
+  std::shared_ptr<const void> owner_;
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
 /// One in-flight message: payload plus (source, tag) matching metadata.
 struct Message {
   int source = 0;
   int tag = 0;
-  std::vector<std::byte> payload;
+  Payload payload;
 };
 
-/// Per-rank inbound message queue with MPI-style (source, tag) matching:
-/// a receive matches the *oldest* queued message whose source and tag are
-/// compatible, preserving the MPI non-overtaking guarantee between any
-/// (sender, receiver, tag) triple.
+/// Per-rank inbound message queue with MPI-style (source, tag) matching and
+/// posted-receive handoff:
+///  - deliver() first tries the *pending receive list* (receives posted with
+///    post_recv that nothing has matched yet), oldest first; on a match the
+///    payload is copied directly into the posted buffer and the request
+///    completes — on the sender's thread, which is what lets the receiver
+///    overlap packing/compute with communication. Unmatched messages queue.
+///  - post_recv() first tries the queue (oldest compatible message wins,
+///    preserving the MPI non-overtaking guarantee per (sender, tag)); else
+///    the receive parks in the pending list.
+///  - receive() is the blocking, dynamically-sized variant used by
+///    collectives and variable-size protocols; posted receives always have
+///    matching priority over it because they were posted earlier.
 class Mailbox {
  public:
-  /// Enqueue a message (called from the sender's thread).
+  /// Enqueue or hand off a message (called from the sender's thread).
   void deliver(Message msg);
 
   /// Block until a message matching (source, tag) is available and return it.
   /// `source`/`tag` may be kAnySource/kAnyTag wildcards.
   [[nodiscard]] Message receive(int source, int tag);
 
+  /// Post a nonblocking receive into `dest`; the returned state completes
+  /// once a matching message has been copied into `dest` (possibly already).
+  [[nodiscard]] std::shared_ptr<RequestState> post_recv(int source, int tag,
+                                                        std::span<std::byte> dest);
+
   /// Non-blocking probe: true if a matching message is queued.
   [[nodiscard]] bool probe(int source, int tag);
 
  private:
-  [[nodiscard]] bool matches(const Message& msg, int source, int tag) const {
-    return (source == kAnySource || msg.source == source) &&
-           (tag == kAnyTag || msg.tag == tag);
+  // kAnyTag matches *user* tags only (>= 0); internal collective traffic
+  // rides in the negative tag space and must be matched exactly, so a
+  // wildcard receive can never steal a collective fragment.
+  static bool matches(int msg_source, int msg_tag, int source, int tag) {
+    return (source == kAnySource || msg_source == source) &&
+           (tag == kAnyTag ? msg_tag >= 0 : msg_tag == tag);
   }
+
+  /// Copy `msg`'s payload into `rs->dest` and complete it (caller holds
+  /// rs->mutex). A size mismatch completes the request with an error.
+  static void complete_locked(RequestState& rs, const Message& msg);
 
   std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
+  std::deque<std::shared_ptr<RequestState>> pending_;
 };
 
 }  // namespace vpar::simrt

@@ -1,0 +1,53 @@
+#include "simrt/request.hpp"
+
+#include <stdexcept>
+
+namespace vpar::simrt {
+
+Request& Request::operator=(Request&& other) noexcept {
+  if (this != &other) {
+    cancel();
+    state_ = std::move(other.state_);
+  }
+  return *this;
+}
+
+Request::~Request() { cancel(); }
+
+void Request::cancel() noexcept {
+  if (!state_) return;
+  {
+    std::lock_guard lock(state_->mutex);
+    state_->cancelled = true;  // deliverers skip cancelled receives
+  }
+  // Release only after the lock is gone: this may be the last reference and
+  // a mutex must not be destroyed while held.
+  state_.reset();
+}
+
+void Request::wait() {
+  if (!state_) return;
+  std::unique_lock lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return state_->complete; });
+  const std::string error = state_->error;
+  lock.unlock();
+  state_.reset();
+  if (!error.empty()) throw std::runtime_error(error);
+}
+
+bool Request::test() {
+  if (!state_) return true;
+  std::unique_lock lock(state_->mutex);
+  if (!state_->complete) return false;
+  const std::string error = state_->error;
+  lock.unlock();
+  state_.reset();
+  if (!error.empty()) throw std::runtime_error(error);
+  return true;
+}
+
+void waitall(std::span<Request> requests) {
+  for (auto& r : requests) r.wait();
+}
+
+}  // namespace vpar::simrt

@@ -205,5 +205,74 @@ TEST(MachineModel, AmdahlScalarFractionDominates) {
   EXPECT_GT(es.pct_peak, cray.pct_peak * 1.5);
 }
 
+TEST(NetworkModel, OverlappedBytesSplitOutButTotalPreserved) {
+  const NetworkModel es(earth_simulator());
+  perf::CommProfile serialized, half_overlapped;
+  serialized.record(perf::CommKind::PointToPoint, 10, 2e6);
+  half_overlapped.record(perf::CommKind::PointToPoint, 10, 1e6);
+  half_overlapped.record_overlapped(perf::CommKind::PointToPoint, 0, 1e6);
+
+  // Total charged time is identical; overlap only reclassifies transfer time
+  // as hideable.
+  EXPECT_NEAR(es.seconds(serialized, 16), es.seconds(half_overlapped, 16), 1e-15);
+  const CommTime t = es.time(half_overlapped, 16);
+  EXPECT_GT(t.overlapped, 0.0);
+  EXPECT_NEAR(t.overlapped, 1e6 / (earth_simulator().net_bw_gbs * 1e9), 1e-15);
+  // Latency is never hideable.
+  EXPECT_GT(t.serialized, 10 * earth_simulator().mpi_latency_us * 1e-6 * 0.99);
+}
+
+TEST(NetworkModel, GatherCostedAsLogDepthCollective) {
+  const NetworkModel p3(power3());
+  perf::CommProfile prof;
+  // The communicator records log2ceil(P) in messages and bytes*log2ceil(P).
+  prof.record(perf::CommKind::Gather, 4.0, 4.0 * 8192.0);
+  const double t = p3.seconds(prof, 16);
+  const double expect = 4.0 * power3().mpi_latency_us * 1e-6 +
+                        4.0 * 8192.0 / (power3().net_bw_gbs * 1e9);
+  EXPECT_NEAR(t, expect, 1e-15);
+  // Synchronizing collective: none of it is hideable.
+  EXPECT_DOUBLE_EQ(p3.time(prof, 16).overlapped, 0.0);
+}
+
+TEST(MachineModel, OverlapCreditHidesCommBehindCompute) {
+  AppProfile app;
+  app.procs = 16;
+  app.kernels.record("k", vec_loop(1000, 4096, 100, 50));
+  app.comm.record_overlapped(perf::CommKind::PointToPoint, 100, 1e8);
+  app.comm.record_overlap_window(1.0);
+  app.baseline_flops = app.kernels.total_flops() * 16;
+
+  PlatformSpec no_overlap = earth_simulator();
+  no_overlap.overlap_eff = 0.0;
+  const auto blocking = MachineModel(no_overlap).predict(app);
+  const auto overlapping = MachineModel(earth_simulator()).predict(app);
+
+  // Same traffic, same compute: the overlap-capable platform is faster.
+  EXPECT_LT(overlapping.seconds, blocking.seconds);
+  EXPECT_GT(overlapping.comm_hidden_seconds, 0.0);
+  EXPECT_NEAR(overlapping.comm_hidden_seconds,
+              overlapping.comm_overlapped_seconds * earth_simulator().overlap_eff,
+              1e-12);
+  EXPECT_NEAR(overlapping.seconds,
+              overlapping.compute_seconds + overlapping.comm_seconds, 1e-15);
+  EXPECT_NEAR(blocking.seconds - overlapping.seconds,
+              overlapping.comm_hidden_seconds, 1e-12);
+}
+
+TEST(MachineModel, HiddenTimeNeverExceedsCompute) {
+  // A communication-dominated profile: the credit is capped by the compute
+  // time available to hide behind.
+  AppProfile app;
+  app.procs = 4;
+  app.kernels.record("k", vec_loop(1, 256, 1, 1));  // almost no compute
+  app.comm.record_overlapped(perf::CommKind::PointToPoint, 10, 1e9);
+  app.baseline_flops = app.kernels.total_flops() * 4;
+
+  const auto pred = MachineModel(earth_simulator()).predict(app);
+  EXPECT_LE(pred.comm_hidden_seconds, pred.compute_seconds + 1e-18);
+  EXPECT_GE(pred.comm_seconds, pred.comm_serialized_seconds);
+}
+
 }  // namespace
 }  // namespace vpar::arch

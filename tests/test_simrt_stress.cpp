@@ -158,5 +158,148 @@ TEST(SimrtStress, AlltoallvStorm) {
   });
 }
 
+// --- collective equivalence property tests ---------------------------------
+// Each collective is checked against a sequential reference over seeded
+// randomized sizes and rank counts 1..16 (including non-powers-of-two, where
+// the binomial trees are ragged), plus empty buffers.
+
+class CollectiveEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveEquivalence, AllreduceMatchesSequentialFold) {
+  const int P = GetParam();
+  std::mt19937 rng(4242u + static_cast<unsigned>(P));
+  std::uniform_int_distribution<std::size_t> len(0, 9);
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+
+  for (int round = 0; round < 5; ++round) {
+    const std::size_t n = len(rng);
+    // contributions[r][i]: fixed up front so a reference answer exists.
+    std::vector<std::vector<double>> contrib(static_cast<std::size_t>(P),
+                                             std::vector<double>(n));
+    for (auto& c : contrib)
+      for (auto& v : c) v = val(rng);
+
+    // Reference: the seed's association order — fold rank 0..P-1 in order.
+    std::vector<double> expect_sum(n, 0.0), expect_max(n), expect_min(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = contrib[0][i], mx = contrib[0][i], mn = contrib[0][i];
+      for (int r = 1; r < P; ++r) {
+        s += contrib[static_cast<std::size_t>(r)][i];
+        mx = std::max(mx, contrib[static_cast<std::size_t>(r)][i]);
+        mn = std::min(mn, contrib[static_cast<std::size_t>(r)][i]);
+      }
+      expect_sum[i] = s;
+      expect_max[i] = mx;
+      expect_min[i] = mn;
+    }
+
+    run(P, [&](Communicator& comm) {
+      auto mine = contrib[static_cast<std::size_t>(comm.rank())];
+      comm.allreduce_inplace(std::span<double>(mine), ReduceOp::Sum);
+      for (std::size_t i = 0; i < n; ++i) {
+        // Bitwise equality: the tree gather must preserve the sequential
+        // rank-order fold exactly, on every rank.
+        ASSERT_EQ(mine[i], expect_sum[i]);
+      }
+      auto mx = contrib[static_cast<std::size_t>(comm.rank())];
+      comm.allreduce_inplace(std::span<double>(mx), ReduceOp::Max);
+      auto mn = contrib[static_cast<std::size_t>(comm.rank())];
+      comm.allreduce_inplace(std::span<double>(mn), ReduceOp::Min);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(mx[i], expect_max[i]);
+        ASSERT_EQ(mn[i], expect_min[i]);
+      }
+    });
+  }
+}
+
+TEST_P(CollectiveEquivalence, BroadcastFromRandomRoots) {
+  const int P = GetParam();
+  std::mt19937 rng(777u + static_cast<unsigned>(P));
+  std::uniform_int_distribution<int> pick_root(0, P - 1);
+  std::uniform_int_distribution<std::size_t> len(0, 12);
+
+  for (int round = 0; round < 5; ++round) {
+    const int root = pick_root(rng);
+    const std::size_t n = len(rng);
+    std::vector<long> payload(n);
+    for (std::size_t i = 0; i < n; ++i) payload[i] = static_cast<long>(i * 31 + round);
+
+    run(P, [&](Communicator& comm) {
+      std::vector<long> v(n, -1);
+      if (comm.rank() == root) v = payload;
+      comm.broadcast<long>(std::span<long>(v), root);
+      ASSERT_EQ(v, payload);
+    });
+  }
+}
+
+TEST_P(CollectiveEquivalence, GatherVariableSizesToRandomRoots) {
+  const int P = GetParam();
+  std::mt19937 rng(31337u + static_cast<unsigned>(P));
+  std::uniform_int_distribution<int> pick_root(0, P - 1);
+  std::uniform_int_distribution<std::size_t> len(0, 7);
+
+  for (int round = 0; round < 5; ++round) {
+    const int root = pick_root(rng);
+    // Variable (possibly zero) contribution sizes per rank.
+    std::vector<std::size_t> counts(static_cast<std::size_t>(P));
+    for (auto& c : counts) c = len(rng);
+
+    // Reference: rank-ordered concatenation of rank*1000 + index.
+    std::vector<int> expected;
+    for (int r = 0; r < P; ++r)
+      for (std::size_t i = 0; i < counts[static_cast<std::size_t>(r)]; ++i)
+        expected.push_back(r * 1000 + static_cast<int>(i));
+
+    run(P, [&](Communicator& comm) {
+      const std::size_t mine = counts[static_cast<std::size_t>(comm.rank())];
+      std::vector<int> contribution(mine);
+      for (std::size_t i = 0; i < mine; ++i)
+        contribution[i] = comm.rank() * 1000 + static_cast<int>(i);
+
+      std::vector<int> out(expected.size(), -1);
+      comm.gather<int>(contribution, std::span<int>(out), root);
+      if (comm.rank() == root) ASSERT_EQ(out, expected);
+    });
+  }
+}
+
+TEST_P(CollectiveEquivalence, AlltoallvMatchesReferencePermutation) {
+  const int P = GetParam();
+  std::mt19937 rng(90210u + static_cast<unsigned>(P));
+  std::uniform_int_distribution<std::size_t> len(0, 5);
+
+  for (int round = 0; round < 4; ++round) {
+    // sizes[s][d]: elements rank s sends to rank d (zeros included).
+    std::vector<std::vector<std::size_t>> sizes(
+        static_cast<std::size_t>(P), std::vector<std::size_t>(static_cast<std::size_t>(P)));
+    for (auto& row : sizes)
+      for (auto& c : row) c = len(rng);
+
+    run(P, [&](Communicator& comm) {
+      const auto me = static_cast<std::size_t>(comm.rank());
+      std::vector<std::vector<double>> out(static_cast<std::size_t>(P));
+      for (std::size_t d = 0; d < static_cast<std::size_t>(P); ++d) {
+        out[d].resize(sizes[me][d]);
+        for (std::size_t i = 0; i < out[d].size(); ++i)
+          out[d][i] = comm.rank() * 100.0 + static_cast<double>(d) + i * 0.001;
+      }
+      auto in = comm.alltoallv(out);
+      ASSERT_EQ(in.size(), static_cast<std::size_t>(P));
+      for (std::size_t s = 0; s < static_cast<std::size_t>(P); ++s) {
+        ASSERT_EQ(in[s].size(), sizes[s][me]);
+        for (std::size_t i = 0; i < in[s].size(); ++i) {
+          ASSERT_DOUBLE_EQ(in[s][i],
+                           s * 100.0 + static_cast<double>(me) + i * 0.001);
+        }
+      }
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveEquivalence,
+                         ::testing::Values(1, 2, 3, 5, 7, 8, 11, 13, 16));
+
 }  // namespace
 }  // namespace vpar::simrt
