@@ -1,0 +1,250 @@
+// Wall-clock benchmark gate: times *real host execution* (std::chrono, not
+// modeled time) of the simulated runtime and every application kernel at
+// several concurrencies, and emits BENCH_wallclock.json — the perf
+// trajectory every PR is compared against (scripts/bench.sh).
+//
+// The suite is deliberately harness-shaped: hundreds of short simrt::run()
+// invocations (the pattern of the test suite and the table benches), message
+// churn at small and large payload sizes, barrier storms, and a few steps of
+// each real application. Runtime overheads — per-run thread spawn, per-message
+// allocation, O(P) barriers — dominate exactly these shapes.
+//
+// Usage: wallclock [output.json]
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "cactus/evolve.hpp"
+#include "fft/fft3d.hpp"
+#include "fft/fft3d_dist.hpp"
+#include "gtc/simulation.hpp"
+#include "lbmhd/simulation.hpp"
+#include "simrt/runtime.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct BenchResult {
+  std::string name;
+  int procs = 1;
+  int reps = 1;
+  double seconds = 0.0;
+};
+
+double time_of(const std::function<void()>& fn) {
+  const auto t0 = Clock::now();
+  fn();
+  const auto t1 = Clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// --- runtime-shaped microbenchmarks ----------------------------------------
+
+/// Many short jobs: the dominant shape of the test suite and the paper-table
+/// benches. Measures per-run launch cost (thread spawn vs. pool wakeup).
+void spawn_churn(int procs, int reps) {
+  for (int r = 0; r < reps; ++r) {
+    vpar::simrt::run(procs, [](vpar::simrt::Communicator& comm) {
+      const int s = comm.allreduce(comm.rank(), vpar::simrt::ReduceOp::Sum);
+      if (s < 0) std::abort();  // keep the job from being optimized away
+    });
+  }
+}
+
+/// Small-message ring traffic: per-message payload handling dominates.
+void p2p_small(int procs, int iters) {
+  vpar::simrt::run(procs, [iters](vpar::simrt::Communicator& comm) {
+    const int right = (comm.rank() + 1) % comm.size();
+    const int left = (comm.rank() + comm.size() - 1) % comm.size();
+    std::vector<double> out(8, static_cast<double>(comm.rank()));
+    std::vector<double> in(8);
+    for (int i = 0; i < iters; ++i) {
+      comm.sendrecv<double>(right, out, left, std::span<double>(in), 0);
+    }
+  });
+}
+
+/// Medium-message ring traffic: payload buffer recycling at halo-exchange
+/// sizes (32 KiB).
+void p2p_medium(int procs, int iters) {
+  vpar::simrt::run(procs, [iters](vpar::simrt::Communicator& comm) {
+    const int right = (comm.rank() + 1) % comm.size();
+    const int left = (comm.rank() + comm.size() - 1) % comm.size();
+    std::vector<double> out(4096, static_cast<double>(comm.rank()));
+    std::vector<double> in(4096);
+    for (int i = 0; i < iters; ++i) {
+      comm.sendrecv<double>(right, out, left, std::span<double>(in), 0);
+    }
+  });
+}
+
+void barrier_storm(int procs, int iters) {
+  vpar::simrt::run(procs, [iters](vpar::simrt::Communicator& comm) {
+    for (int i = 0; i < iters; ++i) comm.barrier();
+  });
+}
+
+// --- application benches ----------------------------------------------------
+
+void lbmhd_steps(int procs, int px, int py, int reps) {
+  vpar::simrt::run(procs, [&](vpar::simrt::Communicator& comm) {
+    vpar::lbmhd::Options opt;
+    opt.nx = opt.ny = 96;
+    opt.px = px;
+    opt.py = py;
+    opt.collision = vpar::lbmhd::Options::Collision::Blocked;
+    opt.block = 48;
+    vpar::lbmhd::Simulation sim(comm, opt);
+    sim.initialize(vpar::lbmhd::orszag_tang_ic(0.05));
+    sim.run(reps);
+  });
+}
+
+void cactus_steps(int procs, int px, int py, int pz, int reps) {
+  vpar::simrt::run(procs, [&](vpar::simrt::Communicator& comm) {
+    vpar::cactus::Options opt;
+    opt.nx = opt.ny = opt.nz = 24;
+    opt.px = px;
+    opt.py = py;
+    opt.pz = pz;
+    opt.h = 0.25;
+    vpar::cactus::Evolution evo(comm, opt);
+    evo.initialize(vpar::cactus::gaussian_pulse_id(1.0e-3, 1.5));
+    evo.run(reps);
+  });
+}
+
+void gtc_steps(int procs, int reps) {
+  vpar::simrt::run(procs, [&](vpar::simrt::Communicator& comm) {
+    vpar::gtc::Options opt;
+    opt.ngx = opt.ngy = 32;
+    opt.nplanes = 8;
+    opt.particles_per_cell = 10;
+    opt.deposit = vpar::gtc::DepositVariant::WorkVector;
+    opt.vlen = 32;
+    vpar::gtc::Simulation sim(comm, opt);
+    sim.load_particles();
+    sim.run(reps);
+  });
+}
+
+void fft_dist(int procs, int reps) {
+  vpar::simrt::run(procs, [&](vpar::simrt::Communicator& comm) {
+    constexpr std::size_t N = 32;
+    vpar::fft::DistFft3d plan(comm, N, N, N);
+    vpar::fft::Grid3 slab(N / static_cast<std::size_t>(comm.size()), N, N);
+    for (std::size_t i = 0; i < slab.data.size(); ++i) {
+      slab.data[i] = vpar::fft::Complex(static_cast<double>(i % 17) - 8.0,
+                                        static_cast<double>(i % 5));
+    }
+    for (int r = 0; r < reps; ++r) {
+      auto spec = plan.forward(slab);
+      slab = plan.inverse(spec);
+    }
+  });
+}
+
+void fft_serial(int reps) {
+  constexpr std::size_t N = 32;
+  vpar::fft::Grid3 grid(N, N, N);
+  for (std::size_t i = 0; i < grid.data.size(); ++i) {
+    grid.data[i] = vpar::fft::Complex(static_cast<double>(i % 13) - 6.0, 0.0);
+  }
+  for (int r = 0; r < reps; ++r) {
+    // A fresh plan per transform: the repeated-transform pattern of the SCF
+    // and Poisson loops (twiddle/bit-reversal setup rides on every rep).
+    vpar::fft::Fft3d plan(N, N, N);
+    plan.forward(grid);
+    plan.inverse(grid);
+  }
+}
+
+void gemm_serial(int reps) {
+  constexpr std::size_t n = 160;
+  std::vector<double> a(n * n), b(n * n), c(n * n, 0.0);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    a[i] = static_cast<double>(i % 7) - 3.0;
+    b[i] = static_cast<double>(i % 11) - 5.0;
+  }
+  for (int r = 0; r < reps; ++r) {
+    vpar::blas::gemm(vpar::blas::Trans::None, vpar::blas::Trans::None, n, n, n,
+                     1.0, a.data(), n, b.data(), n, 0.0, c.data(), n);
+  }
+  if (c[0] > 1e300) std::abort();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_wallclock.json";
+
+  // Warm the runtime (and, when pooled, the worker team) at the largest P so
+  // first-use costs are not charged to the first timed bench.
+  vpar::simrt::run(8, [](vpar::simrt::Communicator&) {});
+
+  std::vector<BenchResult> results;
+  auto bench = [&](const std::string& name, int procs, int reps,
+                   const std::function<void()>& fn) {
+    BenchResult r;
+    r.name = name;
+    r.procs = procs;
+    r.reps = reps;
+    r.seconds = time_of(fn);
+    results.push_back(r);
+    std::printf("  %-18s P=%d  reps=%-5d  %8.3f s\n", name.c_str(), procs, reps,
+                r.seconds);
+    std::fflush(stdout);
+  };
+
+  std::printf("== wallclock: real host execution ==\n");
+  for (int p : {1, 2, 4, 8}) {
+    bench("spawn_churn", p, 1500, [p] { spawn_churn(p, 1500); });
+  }
+  bench("p2p_small", 8, 30000, [] { p2p_small(8, 30000); });
+  bench("p2p_medium", 4, 15000, [] { p2p_medium(4, 15000); });
+  bench("barrier_storm", 8, 15000, [] { barrier_storm(8, 15000); });
+
+  bench("lbmhd", 1, 100, [] { lbmhd_steps(1, 1, 1, 100); });
+  bench("lbmhd", 8, 100, [] { lbmhd_steps(8, 4, 2, 100); });
+  bench("cactus", 1, 8, [] { cactus_steps(1, 1, 1, 1, 8); });
+  bench("cactus", 8, 8, [] { cactus_steps(8, 2, 2, 2, 8); });
+  bench("gtc", 8, 12, [] { gtc_steps(8, 12); });
+  bench("fft_dist", 8, 40, [] { fft_dist(8, 40); });
+  bench("fft_serial", 1, 30, [] { fft_serial(30); });
+  bench("gemm", 1, 30, [] { gemm_serial(30); });
+
+  double total = 0.0, total_p8 = 0.0;
+  for (const auto& r : results) {
+    total += r.seconds;
+    if (r.procs == 8) total_p8 += r.seconds;
+  }
+  std::printf("aggregate: %.3f s   (P=8 subset: %.3f s)\n", total, total_p8);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "wallclock: cannot open " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n  \"schema\": \"vpar-wallclock-v1\",\n  \"benches\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    out << "    {\"name\": \"" << r.name << "\", \"procs\": " << r.procs
+        << ", \"reps\": " << r.reps << ", \"seconds\": " << r.seconds << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"aggregate_seconds\": " << total << ",\n";
+  out << "  \"aggregate_seconds_p8\": " << total_p8 << "\n";
+  out << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Wall-clock regression gate: build Release, run bench/wallclock, and compare
+# against the committed baseline (BENCH_wallclock.json at the repo root).
+#
+# Per-bench numbers are informational — individual microbenches jitter well
+# beyond any useful threshold on a shared host. The gate is the two
+# aggregates (all benches, and the P=8 subset), each allowed +/-15%.
+#
+# Usage: scripts/bench.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-2}"
+BASELINE="BENCH_wallclock.json"
+CURRENT="build-bench/wallclock_current.json"
+
+if [[ ! -f "$BASELINE" ]]; then
+  echo "bench.sh: no committed baseline ($BASELINE); run bench/wallclock and commit its output first" >&2
+  exit 2
+fi
+
+# Wall-clock numbers from a loaded host are meaningless; warn loudly.
+LOAD="$(cut -d' ' -f1 /proc/loadavg)"
+if python3 -c "import sys; sys.exit(0 if float('$LOAD') > 2.0 else 1)"; then
+  echo "WARNING: load average is $LOAD — results will be noisy" >&2
+fi
+
+echo "== Release build =="
+cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-bench -j"$JOBS" --target wallclock
+
+echo "== wallclock run =="
+./build-bench/bench/wallclock "$CURRENT"
+
+echo "== comparison vs $BASELINE (tolerance +/-15% on aggregates) =="
+python3 - "$BASELINE" "$CURRENT" <<'PY'
+import json
+import sys
+
+TOLERANCE = 0.15
+
+with open(sys.argv[1]) as f:
+    base = json.load(f)
+with open(sys.argv[2]) as f:
+    cur = json.load(f)
+
+base_benches = {(b["name"], b["procs"]): b["seconds"] for b in base["benches"]}
+print(f"{'bench':<22}{'baseline':>10}{'current':>10}{'ratio':>8}")
+for b in cur["benches"]:
+    key = (b["name"], b["procs"])
+    label = f"{b['name']}/P{b['procs']}"
+    if key not in base_benches:
+        print(f"{label:<22}{'--':>10}{b['seconds']:>10.3f}    (new)")
+        continue
+    ratio = b["seconds"] / base_benches[key]
+    print(f"{label:<22}{base_benches[key]:>10.3f}{b['seconds']:>10.3f}{ratio:>7.2f}x")
+
+fail = False
+for field in ("aggregate_seconds", "aggregate_seconds_p8"):
+    ratio = cur[field] / base[field]
+    ok = ratio <= 1.0 + TOLERANCE
+    status = "ok" if ok else "REGRESSION"
+    print(f"{field}: baseline {base[field]:.3f} s, current {cur[field]:.3f} s "
+          f"({ratio:.2f}x) {status}")
+    fail = fail or not ok
+
+sys.exit(1 if fail else 0)
+PY
+
+echo "Benchmark gate passed."

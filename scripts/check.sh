@@ -17,9 +17,9 @@ ctest --test-dir build --output-on-failure -j"$JOBS"
 echo "== ThreadSanitizer build (simrt runtime tests) =="
 cmake -B build-tsan -S . -DVPAR_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$JOBS" \
-  --target test_simrt test_simrt_stress test_simrt_nonblocking
+  --target test_simrt test_simrt_stress test_simrt_nonblocking test_simrt_executor
 
-for t in test_simrt test_simrt_stress test_simrt_nonblocking; do
+for t in test_simrt test_simrt_stress test_simrt_nonblocking test_simrt_executor; do
   echo "-- TSan: $t"
   TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/$t"
 done

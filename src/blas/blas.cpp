@@ -66,6 +66,7 @@ void gemm_impl(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
   }
 
   std::vector<T> a_block(kBlock * kBlock);
+  std::vector<T> b_block(kBlock * kBlock);
   for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
     const std::size_t i1 = std::min(i0 + kBlock, m);
     for (std::size_t p0 = 0; p0 < k; p0 += kBlock) {
@@ -78,11 +79,24 @@ void gemm_impl(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
       }
       for (std::size_t j0 = 0; j0 < n; j0 += kBlock) {
         const std::size_t j1 = std::min(j0 + kBlock, n);
+        const std::size_t jw = j1 - j0;
+        // Pack op(B) into contiguous rows: the transpose layouts otherwise
+        // stride the inner loop by ldb, and even the plain layout goes
+        // through the per-element fetch switch. Packing resolves the
+        // orientation once per tile and leaves an unaliased unit-stride row.
+        for (std::size_t p = p0; p < p1; ++p) {
+          T* dst = b_block.data() + (p - p0) * kBlock;
+          for (std::size_t j = j0; j < j1; ++j) dst[j - j0] = fetch(tb, b, ldb, p, j);
+        }
+        // Same (i, p, j) update order as the unpacked form, so each C element
+        // accumulates its k products in an identical sequence.
         for (std::size_t i = i0; i < i1; ++i) {
+          T* __restrict crow = c + i * ldc + j0;
           for (std::size_t p = p0; p < p1; ++p) {
             const T aip = alpha * a_block[(i - i0) * kBlock + (p - p0)];
-            for (std::size_t j = j0; j < j1; ++j) {
-              c[i * ldc + j] += aip * fetch(tb, b, ldb, p, j);
+            const T* __restrict brow = b_block.data() + (p - p0) * kBlock;
+            for (std::size_t j = 0; j < jw; ++j) {
+              crow[j] += aip * brow[j];
             }
           }
         }

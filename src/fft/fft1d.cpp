@@ -54,26 +54,7 @@ struct Fft1d::Bluestein {
 Fft1d::Fft1d(std::size_t n) : n_(n) {
   if (n == 0) throw std::runtime_error("Fft1d: zero length");
   if (is_power_of_two(n)) {
-    const unsigned stages = log2_exact(n);
-    bitrev_.resize(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      std::size_t r = 0;
-      for (unsigned b = 0; b < stages; ++b) {
-        r |= ((i >> b) & 1u) << (stages - 1 - b);
-      }
-      bitrev_[i] = r;
-    }
-    // Twiddles for each stage: stage s uses len = 2^(s+1), half = len/2
-    // factors exp(-2 pi i j / len), j in [0, half).
-    twiddle_fwd_.reserve(n);  // sum of halves = n - 1
-    for (std::size_t len = 2; len <= n; len <<= 1) {
-      const std::size_t half = len / 2;
-      for (std::size_t j = 0; j < half; ++j) {
-        const double angle = -2.0 * std::numbers::pi * static_cast<double>(j) /
-                             static_cast<double>(len);
-        twiddle_fwd_.emplace_back(std::cos(angle), std::sin(angle));
-      }
-    }
+    tables_ = twiddle_tables(n);
   } else {
     bluestein_ = std::make_unique<Bluestein>(n);
   }
@@ -85,8 +66,9 @@ Fft1d& Fft1d::operator=(Fft1d&&) noexcept = default;
 
 void Fft1d::radix2(std::span<Complex> data, bool invert) const {
   const std::size_t n = n_;
+  const TwiddleTables& tables = *tables_;
   for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t j = bitrev_[i];
+    const std::size_t j = tables.bitrev[i];
     if (i < j) std::swap(data[i], data[j]);
   }
   std::size_t tw_base = 0;
@@ -94,7 +76,7 @@ void Fft1d::radix2(std::span<Complex> data, bool invert) const {
     const std::size_t half = len / 2;
     for (std::size_t start = 0; start < n; start += len) {
       for (std::size_t j = 0; j < half; ++j) {
-        Complex w = twiddle_fwd_[tw_base + j];
+        Complex w = tables.twiddle[tw_base + j];
         if (invert) w = std::conj(w);
         const Complex u = data[start + j];
         const Complex t = data[start + j + half] * w;
@@ -127,7 +109,10 @@ void Fft1d::forward(std::span<Complex> data) const {
     return;
   }
   auto& bs = *bluestein_;
-  std::vector<Complex> a(bs.m, Complex{});
+  // Convolution scratch, reused across calls on this thread. The inner plan
+  // is a power of two, so its transforms never re-enter this path.
+  static thread_local std::vector<Complex> a;
+  a.assign(bs.m, Complex{});
   for (std::size_t k = 0; k < n_; ++k) a[k] = data[k] * bs.chirp[k];
   bs.inner.forward(a);
   for (std::size_t k = 0; k < bs.m; ++k) a[k] *= bs.b_fft[k];

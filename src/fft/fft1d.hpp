@@ -6,6 +6,8 @@
 #include <span>
 #include <vector>
 
+#include "fft/twiddle.hpp"
+
 namespace vpar::fft {
 
 using Complex = std::complex<double>;
@@ -45,9 +47,8 @@ class Fft1d {
   void radix2(std::span<Complex> data, bool invert) const;
 
   std::size_t n_;
-  std::vector<std::size_t> bitrev_;          // radix-2 only
-  std::vector<Complex> twiddle_fwd_;         // radix-2 only, per stage concatenated
-  std::unique_ptr<Bluestein> bluestein_;     // non-power-of-two only
+  std::shared_ptr<const TwiddleTables> tables_;  // radix-2 only, shared cache
+  std::unique_ptr<Bluestein> bluestein_;         // non-power-of-two only
 };
 
 }  // namespace vpar::fft

@@ -35,7 +35,11 @@ void Fft3d::transform(Grid3& grid, bool invert) const {
   fz_.simultaneous(std::span<Complex>(grid.data), nx_ * ny_, invert);
 
   // Y: per x-plane, transpose (ny, nz) -> (nz, ny), transform, transpose back.
-  std::vector<Complex> plane(ny_ * nz_);
+  // Both transpose buffers are fully written before they are read, so they
+  // can live in thread-local storage and be reused across calls (and across
+  // plans) instead of being reallocated per transform.
+  static thread_local std::vector<Complex> plane;
+  plane.resize(ny_ * nz_);
   for (std::size_t x = 0; x < nx_; ++x) {
     Complex* base = grid.data.data() + x * ny_ * nz_;
     for (std::size_t y = 0; y < ny_; ++y) {
@@ -50,7 +54,8 @@ void Fft3d::transform(Grid3& grid, bool invert) const {
 
   // X: transpose (nx, ny*nz) -> (ny*nz, nx), transform, transpose back.
   const std::size_t cols = ny_ * nz_;
-  std::vector<Complex> scratch(grid.size());
+  static thread_local std::vector<Complex> scratch;
+  scratch.resize(grid.size());
   for (std::size_t x = 0; x < nx_; ++x) {
     for (std::size_t c = 0; c < cols; ++c) scratch[c * nx_ + x] = grid.data[x * cols + c];
   }

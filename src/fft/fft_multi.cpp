@@ -20,22 +20,7 @@ MultiFft1d::MultiFft1d(std::size_t n) : n_(n), plan_(n) {
   if (!Fft1d::is_power_of_two(n)) {
     throw std::runtime_error("MultiFft1d: power-of-two length required");
   }
-  const unsigned stages = log2_exact(n);
-  bitrev_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    std::size_t r = 0;
-    for (unsigned b = 0; b < stages; ++b) r |= ((i >> b) & 1u) << (stages - 1 - b);
-    bitrev_[i] = r;
-  }
-  twiddle_.reserve(n);
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const std::size_t half = len / 2;
-    for (std::size_t j = 0; j < half; ++j) {
-      const double angle =
-          -2.0 * std::numbers::pi * static_cast<double>(j) / static_cast<double>(len);
-      twiddle_.emplace_back(std::cos(angle), std::sin(angle));
-    }
-  }
+  tables_ = twiddle_tables(n);
 }
 
 void MultiFft1d::looped(std::span<Complex> data, std::size_t count, bool invert) const {
@@ -54,10 +39,11 @@ void MultiFft1d::simultaneous(std::span<Complex> data, std::size_t count,
                               bool invert) const {
   if (data.size() != n_ * count) throw std::runtime_error("MultiFft1d: size mismatch");
   const std::size_t n = n_;
+  const TwiddleTables& tables = *tables_;
 
   // Bit-reversal permutation, batch-inner.
   for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t j = bitrev_[i];
+    const std::size_t j = tables.bitrev[i];
     if (i < j) {
       for (std::size_t t = 0; t < count; ++t) {
         std::swap(data[t * n + i], data[t * n + j]);
@@ -71,7 +57,7 @@ void MultiFft1d::simultaneous(std::span<Complex> data, std::size_t count,
     const std::size_t half = len / 2;
     for (std::size_t start = 0; start < n; start += len) {
       for (std::size_t j = 0; j < half; ++j) {
-        Complex w = twiddle_[tw_base + j];
+        Complex w = tables.twiddle[tw_base + j];
         if (invert) w = std::conj(w);
         const std::size_t ia = start + j;
         const std::size_t ib = start + j + half;

@@ -44,8 +44,7 @@ class MultiFft1d {
  private:
   std::size_t n_;
   Fft1d plan_;
-  std::vector<std::size_t> bitrev_;
-  std::vector<Complex> twiddle_;
+  std::shared_ptr<const TwiddleTables> tables_;  // shared with plan_'s cache entry
 };
 
 }  // namespace vpar::fft

@@ -1,0 +1,62 @@
+#include "fft/twiddle.hpp"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <numbers>
+#include <stdexcept>
+
+namespace vpar::fft {
+
+namespace {
+
+std::shared_ptr<const TwiddleTables> build_tables(std::size_t n) {
+  auto tables = std::make_shared<TwiddleTables>();
+  tables->n = n;
+  unsigned stages = 0;
+  while ((std::size_t{1} << stages) < n) ++stages;
+  tables->stages = stages;
+
+  tables->bitrev.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t r = 0;
+    for (unsigned b = 0; b < stages; ++b) {
+      r |= ((i >> b) & 1u) << (stages - 1 - b);
+    }
+    tables->bitrev[i] = r;
+  }
+
+  tables->twiddle.reserve(n);  // sum of halves = n - 1
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
+    for (std::size_t j = 0; j < half; ++j) {
+      const double angle = -2.0 * std::numbers::pi * static_cast<double>(j) /
+                           static_cast<double>(len);
+      tables->twiddle.emplace_back(std::cos(angle), std::sin(angle));
+    }
+  }
+  return tables;
+}
+
+}  // namespace
+
+std::shared_ptr<const TwiddleTables> twiddle_tables(std::size_t n) {
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw std::runtime_error("twiddle_tables: power-of-two length required");
+  }
+  struct Cache {
+    std::mutex mutex;
+    std::map<std::size_t, std::shared_ptr<const TwiddleTables>> entries;
+  };
+  // Intentionally leaked (and reachable through this pointer): plans cached
+  // in thread-local or static storage may outlive any function-local static
+  // here, and the entries are immutable process-lifetime data anyway.
+  static Cache* cache = new Cache;
+
+  std::lock_guard<std::mutex> lock(cache->mutex);
+  auto& slot = cache->entries[n];
+  if (!slot) slot = build_tables(n);
+  return slot;
+}
+
+}  // namespace vpar::fft

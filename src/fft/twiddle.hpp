@@ -1,0 +1,27 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace vpar::fft {
+
+/// Precomputed radix-2 tables for one power-of-two transform length: the
+/// bit-reversal permutation and the forward twiddle factors of every stage
+/// concatenated (stage with butterfly span `len` contributes len/2 factors
+/// exp(-2 pi i j / len), j in [0, len/2)).
+struct TwiddleTables {
+  std::size_t n = 0;
+  unsigned stages = 0;
+  std::vector<std::size_t> bitrev;
+  std::vector<std::complex<double>> twiddle;
+};
+
+/// Process-wide cache of radix-2 tables keyed by length. Plans of the same
+/// length share one immutable table, so constructing a transform for a length
+/// already seen (the common repeated-transform pattern) costs a map lookup
+/// instead of O(n log n) trigonometry. Thread-safe; n must be a power of two.
+std::shared_ptr<const TwiddleTables> twiddle_tables(std::size_t n);
+
+}  // namespace vpar::fft

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstddef>
 
 #include "gtc/particles.hpp"
@@ -23,6 +24,21 @@ namespace vpar::gtc {
 /// All variants produce the same charge field up to floating-point
 /// summation order.
 enum class DepositVariant { Scatter, WorkVector, Sorted };
+
+/// Periodic wrap of a coordinate into [0, n). The overwhelmingly common case
+/// is a coordinate at most one period out of range (a drift step or ring
+/// point just across the boundary); fmod — an order of magnitude slower —
+/// only runs for far-out values. Bitwise identical to the plain
+/// fmod-then-fixup formulation: for v in [n, 2n) the direct subtraction is
+/// exact (Sterbenz) and equals the exact fmod; for v in (-n, 0), fmod(v, n)
+/// == v exactly, so both forms compute the same v + n.
+inline double wrap_periodic(double v, double n) {
+  if (v >= 0.0 && v < n) return v;
+  if (v >= n && v < n + n) return v - n;
+  if (v < 0.0 && v >= -n) return v + n;
+  v = std::fmod(v, n);
+  return v < 0.0 ? v + n : v;
+}
 
 /// Gyro-averaged 4-point deposition stencil of one marker: the charge ring
 /// is sampled at four points, each bilinearly spread onto four grid points,

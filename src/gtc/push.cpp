@@ -37,23 +37,20 @@ void gather_push(ParticleSet& particles, const TorusGrid& grid,
       const double* eyp = ghost ? ey_ghost.data() : grid.ey_plane(st.plane[b]);
       const double w = st.wplane[b];
       for (int c = 0; c < 16; ++c) {
-        ex += w * st.wcell[c] * exp_[st.cell[c]];
-        ey += w * st.wcell[c] * eyp[st.cell[c]];
+        // One shared weight product per cell; left-to-right evaluation makes
+        // this the same rounding as the w * wcell * field form.
+        const double wc = w * st.wcell[c];
+        ex += wc * exp_[st.cell[c]];
+        ey += wc * eyp[st.cell[c]];
       }
     }
     // ExB drift with B = b0 z-hat (the gyro-average is the 4-point ring).
-    double x = particles.x[i] + dt * ey / b0;
-    double y = particles.y[i] - dt * ex / b0;
-    x = std::fmod(x, nx);
-    if (x < 0.0) x += nx;
-    y = std::fmod(y, ny);
-    if (y < 0.0) y += ny;
-    particles.x[i] = x;
-    particles.y[i] = y;
-    double z = particles.zeta[i] + dt * particles.vpar[i];
-    z = std::fmod(z, two_pi);
-    if (z < 0.0) z += two_pi;
-    particles.zeta[i] = z;
+    // One drift step moves a marker at most one period, so the wrap fast
+    // path applies almost always; it is bitwise identical to fmod-then-fixup.
+    particles.x[i] = wrap_periodic(particles.x[i] + dt * ey / b0, nx);
+    particles.y[i] = wrap_periodic(particles.y[i] - dt * ex / b0, ny);
+    particles.zeta[i] =
+        wrap_periodic(particles.zeta[i] + dt * particles.vpar[i], two_pi);
   }
 
   perf::LoopRecord rec;

@@ -55,6 +55,20 @@ class CommProfile {
   /// predicted time, only show how much of the run was structured for overlap.
   void record_overlap_window(double windows = 1.0) { overlap_windows_ += windows; }
 
+  /// Payload storage accounting from the messaging layer: how each message
+  /// buffer was obtained. `alloc` = fresh heap allocation (arena miss),
+  /// `recycle` = arena free-list hit, `inline` = stored inside the message
+  /// object with no buffer at all. Together these make the zero-alloc
+  /// messaging claim observable: a warmed-up run should show recycles and
+  /// inlines dominating allocs.
+  void record_payload_alloc(double n = 1.0) { payload_allocs_ += n; }
+  void record_payload_recycle(double n = 1.0) { payload_recycles_ += n; }
+  void record_payload_inline(double n = 1.0) { payload_inlines_ += n; }
+
+  [[nodiscard]] double payload_allocs() const { return payload_allocs_; }
+  [[nodiscard]] double payload_recycles() const { return payload_recycles_; }
+  [[nodiscard]] double payload_inlines() const { return payload_inlines_; }
+
   [[nodiscard]] double messages(CommKind kind) const {
     return buckets_[static_cast<std::size_t>(kind)].messages;
   }
@@ -101,6 +115,9 @@ class CommProfile {
       buckets_[i].overlapped_bytes += other.buckets_[i].overlapped_bytes;
     }
     overlap_windows_ += other.overlap_windows_;
+    payload_allocs_ += other.payload_allocs_;
+    payload_recycles_ += other.payload_recycles_;
+    payload_inlines_ += other.payload_inlines_;
   }
 
   /// Profile with all extensive quantities multiplied by `factor`.
@@ -113,12 +130,18 @@ class CommProfile {
       b.overlapped_bytes *= factor;
     }
     out.overlap_windows_ *= factor;
+    out.payload_allocs_ *= factor;
+    out.payload_recycles_ *= factor;
+    out.payload_inlines_ *= factor;
     return out;
   }
 
   void clear() {
     buckets_ = {};
     overlap_windows_ = 0.0;
+    payload_allocs_ = 0.0;
+    payload_recycles_ = 0.0;
+    payload_inlines_ = 0.0;
   }
 
  private:
@@ -130,6 +153,9 @@ class CommProfile {
   };
   std::array<Bucket, static_cast<std::size_t>(CommKind::kCount)> buckets_{};
   double overlap_windows_ = 0.0;
+  double payload_allocs_ = 0.0;
+  double payload_recycles_ = 0.0;
+  double payload_inlines_ = 0.0;
 };
 
 }  // namespace vpar::perf

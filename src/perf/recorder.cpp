@@ -39,6 +39,15 @@ void record_loop(std::string_view region, const LoopRecord& rec) {
   if (t_recorder != nullptr) t_recorder->kernels().record(region, rec);
 }
 
+void record_payload(PayloadEvent event) {
+  if (t_recorder == nullptr) return;
+  switch (event) {
+    case PayloadEvent::Alloc: t_recorder->comm().record_payload_alloc(); break;
+    case PayloadEvent::Recycle: t_recorder->comm().record_payload_recycle(); break;
+    case PayloadEvent::Inline: t_recorder->comm().record_payload_inline(); break;
+  }
+}
+
 void record_comm(CommKind kind, double messages, double bytes) {
   if (t_recorder == nullptr || t_suppress_depth > 0) return;
   if (t_overlap_depth > 0 && overlappable(kind)) {

@@ -52,6 +52,16 @@ class ScopedRecorder {
 /// Report an executed loop nest (no-op without an installed recorder).
 void record_loop(std::string_view region, const LoopRecord& rec);
 
+/// How a message payload buffer was obtained (see CommProfile payload
+/// accounting).
+enum class PayloadEvent { Alloc, Recycle, Inline };
+
+/// Report a payload storage event (no-op without an installed recorder).
+/// Deliberately *not* silenced by CommRecordSuppressor: collective-internal
+/// fragments still acquire real buffers, and the counters exist to observe
+/// exactly that allocator traffic.
+void record_payload(PayloadEvent event);
+
 /// Report a communication event (no-op without an installed recorder).
 /// Inside an OverlapScope, overlappable kinds (PointToPoint, OneSided,
 /// AllToAll) are recorded into the overlapped subset of the profile;

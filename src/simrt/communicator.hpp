@@ -29,6 +29,19 @@ struct RuntimeState {
         rendezvous(size_in),
         recorders(static_cast<std::size_t>(size_in)) {}
 
+  /// Restore the state for reuse by a subsequent job on the same pooled
+  /// executor: drop stale messages, shared objects and instrumentation.
+  /// Must only be called while no rank threads are active. The Rendezvous is
+  /// generation-counted and self-resetting, so it carries no stale state.
+  void reset() {
+    for (auto& mb : mailboxes) mb.reset();
+    {
+      std::lock_guard lock(registry_mutex);
+      registry.clear();
+    }
+    for (auto& r : recorders) r.clear();
+  }
+
   int size;
   std::vector<Mailbox> mailboxes;
   Rendezvous rendezvous;
@@ -47,8 +60,10 @@ struct RuntimeState {
 /// work, synchronized through the returned Request.
 ///
 /// Collectives are built on log-depth pairwise exchanges over the mailboxes
-/// (binomial gather/broadcast trees, pipelined pairwise all-to-all); only
-/// barrier() still uses the global Rendezvous. User tags must be >= 0 — the
+/// (binomial gather/broadcast trees, a dissemination barrier, pipelined
+/// pairwise all-to-all); the global Rendezvous remains only as the barrier
+/// fallback for tiny jobs and the CoArray phase fence. User tags must be
+/// >= 0 — the
 /// negative tag space carries collective traffic, and kAnyTag wildcards
 /// match user messages only, so a wildcard receive can never steal a
 /// collective fragment.
@@ -410,6 +425,12 @@ class Communicator {
   static constexpr int kTagGather = -13;
   static constexpr int kTagAlltoall = -14;
   static constexpr int kTagAlltoallPipe = -15;
+  static constexpr int kTagBarrier = -16;
+
+  /// Largest team size still served by the centralized rendezvous barrier;
+  /// larger teams use the log-depth dissemination barrier over the
+  /// mailboxes (see barrier()).
+  static constexpr int kBarrierRendezvousMax = 8;
 
   void check_dest_tag(int dest, int tag) const {
     if (dest < 0 || dest >= size()) throw std::runtime_error("send: bad destination rank");

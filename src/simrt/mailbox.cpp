@@ -4,7 +4,29 @@
 #include <cstring>
 #include <string>
 
+#include "perf/recorder.hpp"
+
 namespace vpar::simrt {
+
+Payload Payload::copy_of(std::span<const std::byte> data) {
+  Payload p;
+  p.size_ = data.size();
+  if (data.size() <= kInlineCapacity) {
+    if (!data.empty()) std::memcpy(p.inline_buf_, data.data(), data.size());
+    p.data_ = p.inline_buf_;
+    p.storage_ = Storage::Inline;
+    perf::record_payload(perf::PayloadEvent::Inline);
+  } else {
+    bool recycled = false;
+    p.block_ = BufferArena::instance().acquire(data.size(), &recycled);
+    std::memcpy(p.block_.data, data.data(), data.size());
+    p.data_ = p.block_.data;
+    p.storage_ = Storage::Arena;
+    perf::record_payload(recycled ? perf::PayloadEvent::Recycle
+                                  : perf::PayloadEvent::Alloc);
+  }
+  return p;
+}
 
 void Mailbox::complete_locked(RequestState& rs, const Message& msg) {
   if (msg.payload.size() != rs.dest.size()) {
@@ -85,6 +107,12 @@ bool Mailbox::probe(int source, int tag) {
   return std::any_of(queue_.begin(), queue_.end(), [&](const Message& m) {
     return matches(m.source, m.tag, source, tag);
   });
+}
+
+void Mailbox::reset() {
+  std::lock_guard lock(mutex_);
+  queue_.clear();
+  pending_.clear();
 }
 
 }  // namespace vpar::simrt

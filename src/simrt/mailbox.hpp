@@ -3,12 +3,14 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <vector>
 
+#include "simrt/arena.hpp"
 #include "simrt/request.hpp"
 
 namespace vpar::simrt {
@@ -16,31 +18,52 @@ namespace vpar::simrt {
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
 
-/// Type-erased immutable message payload. Large buffers are handed off by
-/// *move*: adopt() takes ownership of the sender's vector (any element type)
-/// with no copy; copy_of() is the fallback for borrowed spans. The payload
-/// is copied exactly once, into the receiver's destination buffer, at match
-/// time.
+/// Move-only immutable message payload with three storage tiers chosen for
+/// zero steady-state allocation:
+///  - Inline: payloads up to kInlineCapacity live inside the Payload object
+///    itself (no heap traffic at all — the common case for collective
+///    fragments, barrier signals and small control messages).
+///  - Arena: larger copy_of() payloads borrow a recycled buffer from the
+///    process-wide BufferArena and return it on destruction.
+///  - Adopted: adopt() takes ownership of the sender's vector (any element
+///    type) with no data copy — the move-handoff path of isend/pipelined
+///    transposes.
+/// The payload is copied exactly once, into the receiver's destination
+/// buffer, at match time.
 class Payload {
  public:
-  Payload() = default;
+  static constexpr std::size_t kInlineCapacity = 64;
 
-  static Payload copy_of(std::span<const std::byte> data) {
-    Payload p;
-    auto owned = std::make_shared<std::vector<std::byte>>(data.begin(), data.end());
-    p.data_ = owned->data();
-    p.size_ = owned->size();
-    p.owner_ = std::move(owned);
-    return p;
+  Payload() = default;
+  Payload(Payload&& other) noexcept { move_from(other); }
+  Payload& operator=(Payload&& other) noexcept {
+    if (this != &other) {
+      release();
+      move_from(other);
+    }
+    return *this;
   }
+  Payload(const Payload&) = delete;
+  Payload& operator=(const Payload&) = delete;
+  ~Payload() { release(); }
+
+  /// Copy `data` into inline or arena storage (records the payload storage
+  /// event on the calling thread's recorder).
+  static Payload copy_of(std::span<const std::byte> data);
 
   template <typename T>
   static Payload adopt(std::vector<T>&& v) {
+    const std::size_t bytes = v.size() * sizeof(T);
+    if (bytes <= kInlineCapacity) {
+      // Inlining beats keeping the vector alive for tiny handoffs.
+      return copy_of(std::as_bytes(std::span<const T>(v)));
+    }
     Payload p;
     auto owned = std::make_shared<std::vector<T>>(std::move(v));
     p.data_ = reinterpret_cast<const std::byte*>(owned->data());
-    p.size_ = owned->size() * sizeof(T);
+    p.size_ = bytes;
     p.owner_ = std::move(owned);
+    p.storage_ = Storage::Adopted;
     return p;
   }
 
@@ -49,9 +72,40 @@ class Payload {
   [[nodiscard]] std::span<const std::byte> bytes() const { return {data_, size_}; }
 
  private:
+  enum class Storage : std::uint8_t { None, Inline, Arena, Adopted };
+
+  void move_from(Payload& other) noexcept {
+    storage_ = other.storage_;
+    size_ = other.size_;
+    owner_ = std::move(other.owner_);
+    block_ = other.block_;
+    if (storage_ == Storage::Inline) {
+      if (size_ > 0) std::memcpy(inline_buf_, other.inline_buf_, size_);
+      data_ = inline_buf_;
+    } else {
+      data_ = other.data_;
+    }
+    other.storage_ = Storage::None;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.block_ = {};
+  }
+
+  void release() noexcept {
+    if (storage_ == Storage::Arena) BufferArena::instance().release(block_);
+    owner_.reset();
+    storage_ = Storage::None;
+    data_ = nullptr;
+    size_ = 0;
+    block_ = {};
+  }
+
   std::shared_ptr<const void> owner_;
+  ArenaBlock block_;
   const std::byte* data_ = nullptr;
   std::size_t size_ = 0;
+  Storage storage_ = Storage::None;
+  std::byte inline_buf_[kInlineCapacity];
 };
 
 /// One in-flight message: payload plus (source, tag) matching metadata.
@@ -90,6 +144,11 @@ class Mailbox {
 
   /// Non-blocking probe: true if a matching message is queued.
   [[nodiscard]] bool probe(int source, int tag);
+
+  /// Drop any queued messages and pending receives. Called by the pooled
+  /// executor between jobs so a recycled mailbox starts clean; after a
+  /// well-formed job both containers are already empty.
+  void reset();
 
  private:
   // kAnyTag matches *user* tags only (>= 0); internal collective traffic

@@ -1,8 +1,7 @@
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -18,13 +17,20 @@ namespace vpar::simrt {
 ///   arrive_and_wait();                      // safe to invalidate args
 /// The two barriers make consecutive collectives race-free: nobody can post
 /// into generation g+1 until every rank has finished its share of g.
+///
+/// The barrier is lock-free on arrival: one fetch_add per rank plus a futex
+/// sleep (std::atomic::wait) for the non-last arrivals. The mutex+condvar
+/// formulation it replaces paid a lock handoff on every wakeup, which
+/// dominated barrier-heavy phases.
 class Rendezvous {
  public:
-  explicit Rendezvous(int size) : slots_(static_cast<std::size_t>(size)), size_(size) {}
+  explicit Rendezvous(int size)
+      : slots_(static_cast<std::size_t>(size)), size_(size) {}
 
-  /// Publish this rank's contribution pointer for the upcoming phase.
+  /// Publish this rank's contribution pointer for the upcoming phase. Only
+  /// the owning rank writes its slot; the barrier orders the write before
+  /// any other rank's read.
   void post(int rank, void* pointer) {
-    std::lock_guard lock(mutex_);
     slots_[static_cast<std::size_t>(rank)] = pointer;
   }
 
@@ -33,24 +39,29 @@ class Rendezvous {
 
   /// Generation-counted reusable barrier.
   void arrive_and_wait() {
-    std::unique_lock lock(mutex_);
-    const std::uint64_t my_generation = generation_;
-    if (++arrived_ == size_) {
-      arrived_ = 0;
-      ++generation_;
-      cv_.notify_all();
-      return;
+    const std::uint64_t my_generation =
+        generation_.load(std::memory_order_acquire);
+    // The acq_rel increment chains every arrival's prior writes into the
+    // last arrival, whose generation bump releases them to all waiters.
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == size_) {
+      // Safe to reset before the bump: every other rank of this generation
+      // has already incremented, and no rank can reach the next barrier
+      // until the bump below wakes it.
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_release);
+      generation_.notify_all();
+    } else {
+      while (generation_.load(std::memory_order_acquire) == my_generation) {
+        generation_.wait(my_generation, std::memory_order_acquire);
+      }
     }
-    cv_.wait(lock, [&] { return generation_ != my_generation; });
   }
 
  private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
   std::vector<void*> slots_;
   int size_;
-  int arrived_ = 0;
-  std::uint64_t generation_ = 0;
+  std::atomic<int> arrived_{0};
+  std::atomic<std::uint64_t> generation_{0};
 };
 
 }  // namespace vpar::simrt

@@ -1,15 +1,17 @@
 #include "simrt/runtime.hpp"
 
-#include <exception>
-#include <mutex>
 #include <stdexcept>
-#include <thread>
 
 namespace vpar::simrt {
 
-RunResult run(int size, const std::function<void(Communicator&)>& body) {
-  if (size <= 0) throw std::runtime_error("simrt::run: size must be positive");
+namespace {
 
+/// True on threads that are executor workers: a nested run() from inside a
+/// job must not try to borrow the pool it is running on.
+thread_local bool t_in_worker = false;
+
+/// Legacy spawn-per-run path, kept as the nested-run fallback.
+RunResult run_spawned(int size, const std::function<void(Communicator&)>& body) {
   RuntimeState state(size);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(size));
@@ -38,6 +40,121 @@ RunResult run(int size, const std::function<void(Communicator&)>& body) {
   result.per_rank = std::move(state.recorders);
   for (const auto& r : result.per_rank) result.merged.merge(r);
   return result;
+}
+
+}  // namespace
+
+Executor::~Executor() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_job_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+int Executor::workers() {
+  std::lock_guard lock(mutex_);
+  return static_cast<int>(workers_.size());
+}
+
+Executor& Executor::shared() {
+  // Meyers singleton: destroyed (and its workers joined) during static
+  // destruction, so sanitizer runs see a clean teardown. The payloads its
+  // cached mailboxes may still hold are returned to the deliberately leaked
+  // BufferArena, which is guaranteed to outlive this.
+  static Executor executor;
+  return executor;
+}
+
+void Executor::worker_loop(int rank, std::uint64_t seen) {
+  t_in_worker = true;
+  for (;;) {
+    const std::function<void(Communicator&)>* body = nullptr;
+    RuntimeState* state = nullptr;
+    int size = 0;
+    {
+      std::unique_lock lock(mutex_);
+      cv_job_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      body = job_body_;
+      state = job_state_;
+      size = job_size_;
+    }
+    if (rank >= size) continue;  // this job is smaller than the pool
+
+    {
+      perf::ScopedRecorder scoped(state->recorders[static_cast<std::size_t>(rank)]);
+      Communicator comm(*state, rank);
+      try {
+        (*body)(comm);
+      } catch (...) {
+        std::lock_guard lock(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+        // As in the spawned path: a dead rank deadlocks peers only if the
+        // job itself is broken; the remaining ranks drain normally.
+      }
+    }
+    {
+      std::lock_guard lock(mutex_);
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+RunResult Executor::run(int size, const std::function<void(Communicator&)>& body) {
+  if (size <= 0) throw std::runtime_error("simrt::run: size must be positive");
+  std::lock_guard serial(run_mutex_);
+
+  if (state_ == nullptr || state_->size != size) {
+    state_ = std::make_unique<RuntimeState>(size);
+  } else {
+    state_->reset();
+  }
+
+  {
+    std::lock_guard lock(mutex_);
+    // Grow the pool lazily. New workers capture the *current* generation as
+    // already-seen so they park until the job below is published.
+    while (static_cast<int>(workers_.size()) < size) {
+      const int rank = static_cast<int>(workers_.size());
+      workers_.emplace_back(
+          [this, rank, gen = generation_] { worker_loop(rank, gen); });
+    }
+    job_body_ = &body;
+    job_state_ = state_.get();
+    job_size_ = size;
+    remaining_ = size;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  cv_job_.notify_all();
+  {
+    std::unique_lock lock(mutex_);
+    cv_done_.wait(lock, [&] { return remaining_ == 0; });
+  }
+
+  if (first_error_) {
+    // A failed job may have left messages or registry entries behind; drop
+    // the cached state so the next run starts from scratch. The pool's
+    // workers are already parked again and stay usable.
+    state_.reset();
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+
+  RunResult result;
+  result.per_rank.assign(state_->recorders.begin(), state_->recorders.end());
+  for (const auto& r : result.per_rank) result.merged.merge(r);
+  return result;
+}
+
+RunResult run(int size, const std::function<void(Communicator&)>& body) {
+  if (size <= 0) throw std::runtime_error("simrt::run: size must be positive");
+  if (t_in_worker) return run_spawned(size, body);
+  return Executor::shared().run(size, body);
 }
 
 }  // namespace vpar::simrt

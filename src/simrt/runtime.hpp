@@ -1,6 +1,12 @@
 #pragma once
 
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "perf/recorder.hpp"
@@ -17,9 +23,66 @@ struct RunResult {
   [[nodiscard]] int size() const { return static_cast<int>(per_rank.size()); }
 };
 
-/// Run `body` as an SPMD job on `size` ranks, one OS thread per rank, with a
-/// perf::Recorder installed on every rank. Exceptions thrown by any rank are
-/// rethrown (first one wins) after all ranks have been joined.
+/// Persistent rank-team thread pool executing SPMD jobs.
+///
+/// The harness calls run() hundreds of times (tests, paper-table benches,
+/// workload synthesizers); spawning and joining P OS threads per call costs
+/// far more than many of the jobs themselves. The executor keeps one worker
+/// per rank parked on a condition variable between jobs and reuses the
+/// RuntimeState (mailboxes, rendezvous, recorders) across same-size runs, so
+/// a warmed-up run() is a wakeup + a job, not P thread creations plus state
+/// construction.
+///
+/// Concurrency contract: jobs are serialized — a run() call blocks until the
+/// pool is free. Worker threads are lazily grown to the largest size seen;
+/// workers whose rank is beyond the current job's size sleep through it. An
+/// exception escaping any rank is rethrown to the caller after the job
+/// drains, and the cached RuntimeState is discarded (in-flight messages of a
+/// failed job must not leak into the next one) — the pool itself stays
+/// healthy.
+class Executor {
+ public:
+  Executor() = default;
+  ~Executor();
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Run `body` as an SPMD job on `size` ranks, one pooled worker per rank,
+  /// with a perf::Recorder installed on every rank.
+  RunResult run(int size, const std::function<void(Communicator&)>& body);
+
+  /// Worker threads currently owned by the pool (== the largest job size
+  /// seen so far).
+  [[nodiscard]] int workers();
+
+  /// Process-wide shared executor that simrt::run() dispatches to.
+  static Executor& shared();
+
+ private:
+  void worker_loop(int rank, std::uint64_t seen);
+
+  std::mutex run_mutex_;  // serializes whole run() invocations
+
+  std::mutex mutex_;  // guards everything below
+  std::condition_variable cv_job_;
+  std::condition_variable cv_done_;
+  std::vector<std::thread> workers_;
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+  int job_size_ = 0;
+  const std::function<void(Communicator&)>* job_body_ = nullptr;
+  RuntimeState* job_state_ = nullptr;
+  int remaining_ = 0;
+  std::exception_ptr first_error_;
+
+  std::unique_ptr<RuntimeState> state_;  // recycled across same-size jobs
+};
+
+/// Run `body` as an SPMD job on `size` ranks with a perf::Recorder installed
+/// on every rank. Dispatches to the shared pooled Executor; nested calls from
+/// inside a worker fall back to spawning dedicated threads (the pool cannot
+/// host a job within a job). Exceptions thrown by any rank are rethrown
+/// (first one wins) after all ranks have finished.
 RunResult run(int size, const std::function<void(Communicator&)>& body);
 
 }  // namespace vpar::simrt
