@@ -93,6 +93,27 @@ void barrier_storm(int procs, int iters) {
   });
 }
 
+/// Comm-heavy mix under a given watchdog setting — used to measure the
+/// overhead of arming the deadlock watchdog (checksums off). The mix leans
+/// on the blocking paths the watchdog instruments: recv, barrier, wait.
+void watchdog_probe(std::chrono::milliseconds watchdog, int reps) {
+  vpar::simrt::RunOptions options;
+  options.size = 8;
+  options.watchdog = watchdog;
+  for (int r = 0; r < reps; ++r) {
+    vpar::simrt::run(options, [](vpar::simrt::Communicator& comm) {
+      const int right = (comm.rank() + 1) % comm.size();
+      const int left = (comm.rank() + comm.size() - 1) % comm.size();
+      std::vector<double> out(64, static_cast<double>(comm.rank()));
+      std::vector<double> in(64);
+      for (int i = 0; i < 120; ++i) {
+        comm.sendrecv<double>(right, out, left, std::span<double>(in), 0);
+        if (i % 8 == 0) comm.barrier();
+      }
+    });
+  }
+}
+
 // --- application benches ----------------------------------------------------
 
 void lbmhd_steps(int procs, int px, int py, int reps) {
@@ -229,6 +250,20 @@ int main(int argc, char** argv) {
   }
   std::printf("aggregate: %.3f s   (P=8 subset: %.3f s)\n", total, total_p8);
 
+  // Watchdog overhead probe: the same comm-heavy mix with the deadlock
+  // watchdog disarmed vs armed (checksums off). Reported as its own JSON
+  // field — deliberately NOT a bench entry, so the committed aggregate
+  // baselines stay comparable across the change that introduced it. The
+  // acceptance budget is <= 2% overhead.
+  constexpr int kProbeReps = 60;
+  const double disarmed =
+      time_of([] { watchdog_probe(std::chrono::milliseconds(0), kProbeReps); });
+  const double armed = time_of(
+      [] { watchdog_probe(std::chrono::milliseconds(10000), kProbeReps); });
+  const double overhead_ratio = disarmed > 0.0 ? armed / disarmed : 1.0;
+  std::printf("watchdog probe: disarmed %.3f s, armed %.3f s (ratio %.3fx)\n",
+              disarmed, armed, overhead_ratio);
+
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "wallclock: cannot open " << out_path << "\n";
@@ -243,7 +278,8 @@ int main(int argc, char** argv) {
   }
   out << "  ],\n";
   out << "  \"aggregate_seconds\": " << total << ",\n";
-  out << "  \"aggregate_seconds_p8\": " << total_p8 << "\n";
+  out << "  \"aggregate_seconds_p8\": " << total_p8 << ",\n";
+  out << "  \"watchdog_overhead_ratio\": " << overhead_ratio << "\n";
   out << "}\n";
   std::cout << "wrote " << out_path << "\n";
   return 0;

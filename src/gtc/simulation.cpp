@@ -92,6 +92,14 @@ void Simulation::run(int steps) {
   for (int s = 0; s < steps; ++s) step();
 }
 
+Simulation::Checkpoint Simulation::save_state() const {
+  return Checkpoint{particles_};
+}
+
+void Simulation::restore_state(const Checkpoint& checkpoint) {
+  particles_ = checkpoint.particles;
+}
+
 std::size_t Simulation::global_particle_count() {
   const auto local = static_cast<long>(particles_.size());
   return static_cast<std::size_t>(comm_->allreduce(local, simrt::ReduceOp::Sum));

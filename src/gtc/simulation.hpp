@@ -54,6 +54,16 @@ class Simulation {
   /// All local markers within this rank's zeta range?
   [[nodiscard]] bool particles_home() const;
 
+  /// Per-rank checkpoint of the complete evolving state: the local marker
+  /// population. The grid (charge, potential, fields) is recomputed from the
+  /// markers at the start of every step, so restoring this into a simulation
+  /// built with the same options replays the run bitwise-identically.
+  struct Checkpoint {
+    ParticleSet particles;
+  };
+  [[nodiscard]] Checkpoint save_state() const;
+  void restore_state(const Checkpoint& checkpoint);
+
   /// Gather one owned plane's potential to rank 0 (row-major ngy x ngx).
   [[nodiscard]] std::vector<double> gather_phi_plane(int global_plane);
 

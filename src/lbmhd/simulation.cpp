@@ -1,5 +1,6 @@
 #include "lbmhd/simulation.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
@@ -89,6 +90,19 @@ void Simulation::step() {
 
 void Simulation::run(int steps) {
   for (int s = 0; s < steps; ++s) step();
+}
+
+Simulation::Checkpoint Simulation::save_state() const {
+  const auto raw = current_->raw();
+  return Checkpoint{std::vector<double>(raw.begin(), raw.end())};
+}
+
+void Simulation::restore_state(const Checkpoint& checkpoint) {
+  auto raw = current_->raw();
+  if (checkpoint.fields.size() != raw.size()) {
+    throw std::runtime_error("lbmhd: checkpoint size mismatch");
+  }
+  std::copy(checkpoint.fields.begin(), checkpoint.fields.end(), raw.begin());
 }
 
 void Simulation::macro_at(std::size_t j, std::size_t i, MacroState& out) const {

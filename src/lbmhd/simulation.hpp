@@ -58,6 +58,16 @@ class Simulation {
 
   [[nodiscard]] Diagnostics diagnostics();
 
+  /// Per-rank checkpoint of the complete evolving state: one snapshot of the
+  /// current field populations (ghosts included). Everything else about a
+  /// Simulation is configuration, so restoring this into a simulation built
+  /// with the same options replays the run bitwise-identically.
+  struct Checkpoint {
+    std::vector<double> fields;
+  };
+  [[nodiscard]] Checkpoint save_state() const;
+  void restore_state(const Checkpoint& checkpoint);
+
   /// Assemble a global field on rank 0 (empty on other ranks).
   enum class Field { Density, VelocityX, VelocityY, Bx, By, CurrentZ };
   [[nodiscard]] std::vector<double> gather(Field which);

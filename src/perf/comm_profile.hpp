@@ -69,6 +69,20 @@ class CommProfile {
   [[nodiscard]] double payload_recycles() const { return payload_recycles_; }
   [[nodiscard]] double payload_inlines() const { return payload_inlines_; }
 
+  /// Robustness accounting from the fault-injection layer (see
+  /// simrt/fault.hpp): `fault` = one injected event (delay, straggler stall,
+  /// reorder, bit-flip, or rank kill), `checksum_failure` = a payload that
+  /// failed receiver-side verification, `abort` = a JobAborted observed by
+  /// this rank (cooperative abort wake-up). Together these make chaos runs
+  /// auditable: a seeded run reports exactly how much havoc it survived.
+  void record_fault_injected(double n = 1.0) { faults_injected_ += n; }
+  void record_checksum_failure(double n = 1.0) { checksum_failures_ += n; }
+  void record_abort_observed(double n = 1.0) { aborts_observed_ += n; }
+
+  [[nodiscard]] double faults_injected() const { return faults_injected_; }
+  [[nodiscard]] double checksum_failures() const { return checksum_failures_; }
+  [[nodiscard]] double aborts_observed() const { return aborts_observed_; }
+
   [[nodiscard]] double messages(CommKind kind) const {
     return buckets_[static_cast<std::size_t>(kind)].messages;
   }
@@ -118,6 +132,9 @@ class CommProfile {
     payload_allocs_ += other.payload_allocs_;
     payload_recycles_ += other.payload_recycles_;
     payload_inlines_ += other.payload_inlines_;
+    faults_injected_ += other.faults_injected_;
+    checksum_failures_ += other.checksum_failures_;
+    aborts_observed_ += other.aborts_observed_;
   }
 
   /// Profile with all extensive quantities multiplied by `factor`.
@@ -133,6 +150,9 @@ class CommProfile {
     out.payload_allocs_ *= factor;
     out.payload_recycles_ *= factor;
     out.payload_inlines_ *= factor;
+    out.faults_injected_ *= factor;
+    out.checksum_failures_ *= factor;
+    out.aborts_observed_ *= factor;
     return out;
   }
 
@@ -142,6 +162,9 @@ class CommProfile {
     payload_allocs_ = 0.0;
     payload_recycles_ = 0.0;
     payload_inlines_ = 0.0;
+    faults_injected_ = 0.0;
+    checksum_failures_ = 0.0;
+    aborts_observed_ = 0.0;
   }
 
  private:
@@ -156,6 +179,9 @@ class CommProfile {
   double payload_allocs_ = 0.0;
   double payload_recycles_ = 0.0;
   double payload_inlines_ = 0.0;
+  double faults_injected_ = 0.0;
+  double checksum_failures_ = 0.0;
+  double aborts_observed_ = 0.0;
 };
 
 }  // namespace vpar::perf

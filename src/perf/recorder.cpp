@@ -48,6 +48,18 @@ void record_payload(PayloadEvent event) {
   }
 }
 
+void record_fault_injected() {
+  if (t_recorder != nullptr) t_recorder->comm().record_fault_injected();
+}
+
+void record_checksum_failure() {
+  if (t_recorder != nullptr) t_recorder->comm().record_checksum_failure();
+}
+
+void record_abort_observed() {
+  if (t_recorder != nullptr) t_recorder->comm().record_abort_observed();
+}
+
 void record_comm(CommKind kind, double messages, double bytes) {
   if (t_recorder == nullptr || t_suppress_depth > 0) return;
   if (t_overlap_depth > 0 && overlappable(kind)) {

@@ -62,6 +62,14 @@ enum class PayloadEvent { Alloc, Recycle, Inline };
 /// exactly that allocator traffic.
 void record_payload(PayloadEvent event);
 
+/// Robustness events from the fault-injection layer (no-ops without an
+/// installed recorder). Like payload events, these are *not* silenced by
+/// CommRecordSuppressor: faults injected into collective-internal fragments
+/// are exactly what chaos audits need to see.
+void record_fault_injected();
+void record_checksum_failure();
+void record_abort_observed();
+
 /// Report a communication event (no-op without an installed recorder).
 /// Inside an OverlapScope, overlappable kinds (PointToPoint, OneSided,
 /// AllToAll) are recorded into the overlapped subset of the profile;

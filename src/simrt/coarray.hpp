@@ -31,7 +31,7 @@ class CoArray {
       return std::make_shared<Storage>(static_cast<std::size_t>(comm.size()));
     });
     (*storage_)[static_cast<std::size_t>(comm.rank())].assign(local_count, T{});
-    comm.state().rendezvous.arrive_and_wait();  // all blocks allocated
+    comm.state().rendezvous.arrive_and_wait(comm.rank());  // all blocks allocated
   }
 
   [[nodiscard]] std::span<T> local() {
@@ -73,7 +73,7 @@ class CoArray {
 
   /// Barrier separating one-sided access epochs (CAF sync all).
   void sync_all() {
-    comm_->state().rendezvous.arrive_and_wait();
+    comm_->state().rendezvous.arrive_and_wait(comm_->rank());
     perf::record_comm(perf::CommKind::Barrier, 1.0, 0.0);
   }
 

@@ -6,16 +6,27 @@ void Communicator::raw_send(int dest, Payload payload, int tag) {
   Message msg;
   msg.source = rank_;
   msg.tag = tag;
+  // Checksum the payload *before* fault injection: an injected in-transit
+  // bit-flip must be detectable against the sender's intended bytes.
+  if (state_->control.checksums()) {
+    msg.checksum = fnv1a64(payload.bytes());
+    msg.checksummed = true;
+  }
+  if (injector_.enabled()) {
+    injector_.apply_send_faults(payload.mutable_bytes(), tag, msg.reorder);
+  }
   msg.payload = std::move(payload);
   state_->mailboxes[static_cast<std::size_t>(dest)].deliver(std::move(msg));
 }
 
-Message Communicator::raw_receive(int source, int tag) {
-  return state_->mailboxes[static_cast<std::size_t>(rank_)].receive(source, tag);
+Message Communicator::raw_receive(int source, int tag, const char* what) {
+  return state_->mailboxes[static_cast<std::size_t>(rank_)].receive(source, tag,
+                                                                    what);
 }
 
 void Communicator::send_bytes(int dest, std::span<const std::byte> data, int tag) {
   check_dest_tag(dest, tag);
+  begin_op("send");
   raw_send(dest, Payload::copy_of(data), tag);
   perf::record_comm(perf::CommKind::PointToPoint, 1.0, static_cast<double>(data.size()));
 }
@@ -29,6 +40,7 @@ Request Communicator::isend_bytes(int dest, std::span<const std::byte> data, int
 
 Request Communicator::irecv_bytes(int source, std::span<std::byte> data, int tag) {
   if (tag < kAnyTag) throw std::runtime_error("recv: bad tag");
+  begin_op("irecv");
   return Request(
       state_->mailboxes[static_cast<std::size_t>(rank_)].post_recv(source, tag, data));
 }
@@ -39,17 +51,19 @@ void Communicator::recv_bytes(int source, std::span<std::byte> data, int tag) {
 
 Message Communicator::recv_message(int source, int tag) {
   if (tag < kAnyTag) throw std::runtime_error("recv: bad tag");
+  begin_op("recv");
   return raw_receive(source, tag);
 }
 
 void Communicator::barrier() {
   const int P = size();
+  begin_op("barrier");
   if (P <= kBarrierRendezvousMax) {
     // Small teams: the centralized rendezvous is one shared cacheline and a
     // single sleep/wake per rank; measured faster than log-depth message
     // rounds up to ~8 ranks on the harness host (the algorithm switch by
     // communicator size that production MPI barriers also make).
-    state_->rendezvous.arrive_and_wait();
+    state_->rendezvous.arrive_and_wait(rank_);
   } else {
     // Dissemination barrier, ceil(log2 P) rounds: in round k every rank
     // signals (rank + 2^k) mod P and waits on (rank - 2^k) mod P, so each
@@ -62,7 +76,7 @@ void Communicator::barrier() {
     // FIFO order per (sender, tag).
     for (int step = 1; step < P; step <<= 1) {
       raw_send((rank_ + step) % P, Payload{}, kTagBarrier);
-      (void)raw_receive((rank_ - step + P) % P, kTagBarrier);
+      (void)raw_receive((rank_ - step + P) % P, kTagBarrier, "barrier");
     }
   }
   perf::record_comm(perf::CommKind::Barrier, 1.0, 0.0);

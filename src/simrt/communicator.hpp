@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <functional>
 #include <map>
@@ -27,12 +28,27 @@ struct RuntimeState {
       : size(size_in),
         mailboxes(static_cast<std::size_t>(size_in)),
         rendezvous(size_in),
-        recorders(static_cast<std::size_t>(size_in)) {}
+        recorders(static_cast<std::size_t>(size_in)),
+        control(size_in) {
+    for (int r = 0; r < size_in; ++r) {
+      mailboxes[static_cast<std::size_t>(r)].attach(&control, r);
+    }
+    rendezvous.attach(&control);
+    // Wake every blocking primitive after a cooperative abort so blocked
+    // ranks observe JobControl::aborted() instead of sleeping forever.
+    control.set_waker([this] {
+      for (auto& mb : mailboxes) mb.abort_wake();
+      rendezvous.abort_wake();
+    });
+  }
 
   /// Restore the state for reuse by a subsequent job on the same pooled
   /// executor: drop stale messages, shared objects and instrumentation.
   /// Must only be called while no rank threads are active. The Rendezvous is
   /// generation-counted and self-resetting, so it carries no stale state.
+  /// (The executor never reuses the state of an *aborted* job — its
+  /// rendezvous generation count is forfeit — so no abort state is cleared
+  /// here; JobControl::configure re-arms the control block per job.)
   void reset() {
     for (auto& mb : mailboxes) mb.reset();
     {
@@ -48,6 +64,7 @@ struct RuntimeState {
   std::mutex registry_mutex;
   std::map<std::string, std::shared_ptr<void>> registry;
   std::vector<perf::Recorder> recorders;
+  JobControl control;
 };
 
 /// MPI-flavoured communicator bound to one rank of a simulated job.
@@ -73,10 +90,15 @@ struct RuntimeState {
 /// perf::OverlapScope is recorded as overlapped (see perf/comm_profile.hpp).
 class Communicator {
  public:
-  Communicator(RuntimeState& state, int rank) : state_(&state), rank_(rank) {}
+  Communicator(RuntimeState& state, int rank)
+      : state_(&state), rank_(rank), injector_(state.control.fault(), rank) {}
 
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int size() const { return state_->size; }
+
+  /// Public communication calls made through this communicator so far — the
+  /// call index FaultPlan::fail_at_call and failure reports refer to.
+  [[nodiscard]] std::uint64_t comm_calls() const { return calls_; }
 
   // --- point to point -----------------------------------------------------
 
@@ -113,6 +135,7 @@ class Communicator {
   template <typename T>
   [[nodiscard]] Request isend(int dest, std::vector<T>&& data, int tag) {
     check_dest_tag(dest, tag);
+    begin_op("isend");
     const double bytes = static_cast<double>(data.size() * sizeof(T));
     raw_send(dest, Payload::adopt(std::move(data)), tag);
     perf::record_comm(perf::CommKind::PointToPoint, 1.0, bytes);
@@ -153,6 +176,7 @@ class Communicator {
   void allreduce_inplace(std::span<T> values, ReduceOp op) {
     const int P = size();
     const std::size_t n = values.size();
+    begin_op("allreduce");
     if (P > 1) {
       perf::CommRecordSuppressor mute;
       // Gather phase: each rank accumulates the contributions of the
@@ -168,7 +192,7 @@ class Communicator {
         } else if (rank_ + step < P) {
           const int partner = rank_ + step;
           const auto pcov = static_cast<std::size_t>(std::min(step, P - partner));
-          Message m = raw_receive(partner, kTagAllreduceGather);
+          Message m = raw_receive(partner, kTagAllreduceGather, "allreduce");
           if (m.payload.size() != pcov * n * sizeof(T)) {
             throw std::runtime_error("allreduce: tree block size mismatch");
           }
@@ -198,7 +222,7 @@ class Communicator {
                      kTagAllreduceBcast);
           }
         } else if (rank_ < 2 * step) {
-          Message m = raw_receive(rank_ - step, kTagAllreduceBcast);
+          Message m = raw_receive(rank_ - step, kTagAllreduceBcast, "allreduce");
           if (m.payload.size() != n * sizeof(T)) {
             throw std::runtime_error("allreduce: result size mismatch");
           }
@@ -215,6 +239,7 @@ class Communicator {
   void broadcast(std::span<T> values, int root) {
     const int P = size();
     check_root(root);
+    begin_op("broadcast");
     {
       perf::CommRecordSuppressor mute;
       const int vr = (rank_ - root + P) % P;
@@ -226,7 +251,7 @@ class Communicator {
                      kTagBroadcast);
           }
         } else if (vr < 2 * step) {
-          Message m = raw_receive((vr - step + root) % P, kTagBroadcast);
+          Message m = raw_receive((vr - step + root) % P, kTagBroadcast, "broadcast");
           if (m.payload.size() != values.size() * sizeof(T)) {
             throw std::runtime_error("broadcast: size mismatch");
           }
@@ -250,6 +275,7 @@ class Communicator {
   void gather(std::span<const T> contribution, std::span<T> out, int root) {
     const int P = size();
     check_root(root);
+    begin_op("gather");
     {
       perf::CommRecordSuppressor mute;
       const int vr = (rank_ - root + P) % P;
@@ -272,7 +298,7 @@ class Communicator {
         } else if (vr + step < P) {
           const int pvr = vr + step;
           const auto pcov = static_cast<std::size_t>(std::min(step, P - pvr));
-          Message m = raw_receive((pvr + root) % P, kTagGather);
+          Message m = raw_receive((pvr + root) % P, kTagGather, "gather");
           if (m.payload.size() < pcov * sizeof(std::uint64_t)) {
             throw std::runtime_error("gather: tree block header mismatch");
           }
@@ -339,6 +365,7 @@ class Communicator {
     if (static_cast<int>(outboxes.size()) != P) {
       throw std::runtime_error("alltoallv: need one outbox per rank");
     }
+    begin_op("alltoallv");
     perf::OverlapScope window;
     std::vector<std::vector<T>> inboxes(static_cast<std::size_t>(P));
     double bytes = 0.0;
@@ -352,7 +379,7 @@ class Communicator {
         raw_send(static_cast<int>(dest),
                  Payload::copy_of(std::as_bytes(std::span<const T>(outboxes[dest]))),
                  kTagAlltoall);
-        Message m = raw_receive(src, kTagAlltoall);
+        Message m = raw_receive(src, kTagAlltoall, "alltoallv");
         auto& in = inboxes[static_cast<std::size_t>(src)];
         in.resize(m.payload.size() / sizeof(T));
         if (!in.empty()) std::memcpy(in.data(), m.payload.data(), m.payload.size());
@@ -371,6 +398,7 @@ class Communicator {
   template <typename T, typename PackFn, typename UnpackFn>
   void alltoallv_pipelined(PackFn&& pack, UnpackFn&& unpack) {
     const int P = size();
+    begin_op("alltoallv");
     perf::OverlapScope window;
     double bytes = 0.0;
     {
@@ -382,7 +410,7 @@ class Communicator {
         std::vector<T> box = pack(dest);
         bytes += static_cast<double>(box.size() * sizeof(T));
         raw_send(dest, Payload::adopt(std::move(box)), kTagAlltoallPipe);
-        Message m = raw_receive(src, kTagAlltoallPipe);
+        Message m = raw_receive(src, kTagAlltoallPipe, "alltoallv");
         std::vector<T> in(m.payload.size() / sizeof(T));
         if (!in.empty()) std::memcpy(in.data(), m.payload.data(), m.payload.size());
         unpack(src, std::move(in));
@@ -440,9 +468,26 @@ class Communicator {
     if (root < 0 || root >= size()) throw std::runtime_error("collective: bad root rank");
   }
 
+  /// Entry hook of every public communication operation: honours cooperative
+  /// abort, advances the per-rank call counter for blocked-state reports, and
+  /// gives the fault injector its chance to stall or kill this rank. Internal
+  /// raw_send/raw_receive fragments deliberately do NOT count as calls —
+  /// "comm call #N" in failure reports means the N-th *public* operation.
+  void begin_op(const char* op) {
+    JobControl& ctl = state_->control;
+    if (ctl.aborted()) ctl.throw_aborted();
+    ++calls_;
+    ctl.note_call(rank_, op, calls_);
+    injector_.on_call(calls_);
+  }
+
   /// Unrecorded, unvalidated delivery — the transport under the collectives.
+  /// raw_send stamps the payload checksum (before fault injection, so an
+  /// injected bit-flip is detectable) and applies send-side faults;
+  /// raw_receive names the enclosing operation for blocked-state reports.
   void raw_send(int dest, Payload payload, int tag);
-  [[nodiscard]] Message raw_receive(int source, int tag);
+  [[nodiscard]] Message raw_receive(int source, int tag,
+                                    const char* what = "recv");
 
   template <typename T>
   static T apply(T a, T b, ReduceOp op) {
@@ -466,6 +511,8 @@ class Communicator {
 
   RuntimeState* state_;
   int rank_;
+  FaultInjector injector_;
+  std::uint64_t calls_ = 0;
 };
 
 }  // namespace vpar::simrt

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "perf/recorder.hpp"
 
@@ -33,6 +34,11 @@ void Mailbox::complete_locked(RequestState& rs, const Message& msg) {
     rs.error = "recv: payload size mismatch (got " +
                std::to_string(msg.payload.size()) + " bytes, posted " +
                std::to_string(rs.dest.size()) + ")";
+  } else if (msg.checksummed && fnv1a64(msg.payload.bytes()) != msg.checksum) {
+    rs.checksum_error = true;
+    rs.error = "recv: payload checksum mismatch (source " +
+               std::to_string(msg.source) + ", tag " + std::to_string(msg.tag) +
+               ", " + std::to_string(msg.payload.size()) + " bytes)";
   } else if (!rs.dest.empty()) {
     std::memcpy(rs.dest.data(), msg.payload.data(), rs.dest.size());
   }
@@ -61,13 +67,23 @@ void Mailbox::deliver(Message msg) {
       }
       ++it;
     }
-    queue_.push_back(std::move(msg));
+    // Injected reorder: jump ahead of up to msg.reorder queued messages, but
+    // never past one from the same (source, tag) stream — per-stream FIFO is
+    // a documented guarantee, chaos or not.
+    auto pos = queue_.end();
+    for (int jump = msg.reorder; jump > 0 && pos != queue_.begin(); --jump) {
+      auto prev = std::prev(pos);
+      if (prev->source == msg.source && prev->tag == msg.tag) break;
+      pos = prev;
+    }
+    queue_.insert(pos, std::move(msg));
   }
   cv_.notify_all();
 }
 
-Message Mailbox::receive(int source, int tag) {
+Message Mailbox::receive(int source, int tag, const char* what) {
   std::unique_lock lock(mutex_);
+  BlockGuard guard;
   for (;;) {
     auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
       return matches(m.source, m.tag, source, tag);
@@ -75,7 +91,18 @@ Message Mailbox::receive(int source, int tag) {
     if (it != queue_.end()) {
       Message msg = std::move(*it);
       queue_.erase(it);
+      if (msg.checksummed && fnv1a64(msg.payload.bytes()) != msg.checksum) {
+        perf::record_checksum_failure();
+        throw ChecksumError("recv: payload checksum mismatch (source " +
+                            std::to_string(msg.source) + ", tag " +
+                            std::to_string(msg.tag) + ", " +
+                            std::to_string(msg.payload.size()) + " bytes)");
+      }
       return msg;
+    }
+    if (control_ != nullptr) {
+      if (control_->aborted()) control_->throw_aborted();
+      guard.engage(*control_, owner_, BlockKind::Recv, what, source, tag);
     }
     cv_.wait(lock);
   }
@@ -83,10 +110,13 @@ Message Mailbox::receive(int source, int tag) {
 
 std::shared_ptr<RequestState> Mailbox::post_recv(int source, int tag,
                                                  std::span<std::byte> dest) {
+  if (control_ != nullptr && control_->aborted()) control_->throw_aborted();
   auto state = std::make_shared<RequestState>();
   state->want_source = source;
   state->want_tag = tag;
   state->dest = dest;
+  state->control = control_;
+  state->owner = owner_;
 
   std::lock_guard lock(mutex_);
   auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
@@ -107,6 +137,26 @@ bool Mailbox::probe(int source, int tag) {
   return std::any_of(queue_.begin(), queue_.end(), [&](const Message& m) {
     return matches(m.source, m.tag, source, tag);
   });
+}
+
+Mailbox::Stats Mailbox::stats() {
+  std::lock_guard lock(mutex_);
+  return {queue_.size(), pending_.size()};
+}
+
+void Mailbox::abort_wake() {
+  std::vector<std::shared_ptr<RequestState>> parked;
+  {
+    std::lock_guard lock(mutex_);
+    parked.assign(pending_.begin(), pending_.end());
+  }
+  cv_.notify_all();
+  for (const auto& rs : parked) {
+    // Lock-then-notify so a waiter between its predicate check and cv.wait
+    // cannot miss the wake-up.
+    { std::lock_guard state_lock(rs->mutex); }
+    rs->cv.notify_all();
+  }
 }
 
 void Mailbox::reset() {

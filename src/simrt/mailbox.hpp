@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "simrt/arena.hpp"
+#include "simrt/fault.hpp"
 #include "simrt/request.hpp"
 
 namespace vpar::simrt {
@@ -71,6 +72,12 @@ class Payload {
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] std::span<const std::byte> bytes() const { return {data_, size_}; }
 
+  /// Mutable view for the fault injector's in-transit bit-flips. Only valid
+  /// before delivery, while the sender exclusively owns the payload.
+  [[nodiscard]] std::span<std::byte> mutable_bytes() {
+    return {const_cast<std::byte*>(data_), size_};
+  }
+
  private:
   enum class Storage : std::uint8_t { None, Inline, Arena, Adopted };
 
@@ -109,9 +116,16 @@ class Payload {
 };
 
 /// One in-flight message: payload plus (source, tag) matching metadata.
+/// `checksum` (when `checksummed`) is the sender-side FNV-1a of the payload,
+/// verified at match time; `reorder` asks deliver() to enqueue the message
+/// ahead of up to that many queued messages from other (source, tag) streams
+/// (fault injection — per-stream FIFO is still preserved).
 struct Message {
   int source = 0;
   int tag = 0;
+  std::uint64_t checksum = 0;
+  bool checksummed = false;
+  int reorder = 0;
   Payload payload;
 };
 
@@ -130,12 +144,23 @@ struct Message {
 ///    matching priority over it because they were posted earlier.
 class Mailbox {
  public:
+  /// Bind this mailbox to its owning rank's job control block (done once by
+  /// RuntimeState). Blocking receives then honour cooperative abort and
+  /// register their blocked state for the deadlock watchdog.
+  void attach(JobControl* control, int owner) {
+    control_ = control;
+    owner_ = owner;
+  }
+
   /// Enqueue or hand off a message (called from the sender's thread).
   void deliver(Message msg);
 
   /// Block until a message matching (source, tag) is available and return it.
-  /// `source`/`tag` may be kAnySource/kAnyTag wildcards.
-  [[nodiscard]] Message receive(int source, int tag);
+  /// `source`/`tag` may be kAnySource/kAnyTag wildcards. `what` names the
+  /// operation in blocked-state reports (e.g. "recv", "barrier"). Throws
+  /// JobAborted if the job is cooperatively aborted while waiting, and
+  /// ChecksumError if the matched payload fails verification.
+  [[nodiscard]] Message receive(int source, int tag, const char* what = "recv");
 
   /// Post a nonblocking receive into `dest`; the returned state completes
   /// once a matching message has been copied into `dest` (possibly already).
@@ -144,6 +169,18 @@ class Mailbox {
 
   /// Non-blocking probe: true if a matching message is queued.
   [[nodiscard]] bool probe(int source, int tag);
+
+  /// Queue depths for blocked-state reports.
+  struct Stats {
+    std::size_t queued = 0;
+    std::size_t pending = 0;
+  };
+  [[nodiscard]] Stats stats();
+
+  /// Wake the owning rank out of any blocking receive or Request::wait after
+  /// a cooperative abort: notifies the mailbox condvar and every parked
+  /// pending receive (their waiters recheck JobControl::aborted()).
+  void abort_wake();
 
   /// Drop any queued messages and pending receives. Called by the pooled
   /// executor between jobs so a recycled mailbox starts clean; after a
@@ -167,6 +204,8 @@ class Mailbox {
   std::condition_variable cv_;
   std::deque<Message> queue_;
   std::deque<std::shared_ptr<RequestState>> pending_;
+  JobControl* control_ = nullptr;
+  int owner_ = 0;
 };
 
 }  // namespace vpar::simrt

@@ -5,6 +5,8 @@
 #include <span>
 #include <vector>
 
+#include "simrt/fault.hpp"
+
 namespace vpar::simrt {
 
 /// Reusable rendezvous primitive backing every collective in the runtime:
@@ -37,8 +39,17 @@ class Rendezvous {
   /// All slot pointers; valid between the two barriers of a collective.
   [[nodiscard]] std::span<void* const> slots() const { return slots_; }
 
-  /// Generation-counted reusable barrier.
-  void arrive_and_wait() {
+  /// Bind to the job control block (done once by RuntimeState) so waiters
+  /// honour cooperative abort and register with the deadlock watchdog.
+  void attach(JobControl* control) { control_ = control; }
+
+  /// Generation-counted reusable barrier. Pass the calling rank to register
+  /// the wait with the watchdog; rank < 0 waits anonymously. Throws
+  /// JobAborted if the job is cooperatively aborted (on entry, while
+  /// waiting, or — because an abort wake forfeits the generation count —
+  /// on a wake that raced the abort).
+  void arrive_and_wait(int rank = -1) {
+    if (control_ != nullptr && control_->aborted()) control_->throw_aborted();
     const std::uint64_t my_generation =
         generation_.load(std::memory_order_acquire);
     // The acq_rel increment chains every arrival's prior writes into the
@@ -51,10 +62,27 @@ class Rendezvous {
       generation_.fetch_add(1, std::memory_order_release);
       generation_.notify_all();
     } else {
+      BlockGuard guard;
+      if (control_ != nullptr && rank >= 0) {
+        guard.engage(*control_, rank, BlockKind::Barrier, "barrier", -1, -1);
+      }
       while (generation_.load(std::memory_order_acquire) == my_generation) {
+        if (control_ != nullptr && control_->aborted()) {
+          control_->throw_aborted();
+        }
         generation_.wait(my_generation, std::memory_order_acquire);
       }
     }
+    if (control_ != nullptr && control_->aborted()) control_->throw_aborted();
+  }
+
+  /// Release every waiter after a cooperative abort: std::atomic::wait only
+  /// returns on a value change, so the generation is force-bumped. This
+  /// forfeits the barrier's count for the current generation — fine, because
+  /// a failed job's runtime state is discarded, never reused.
+  void abort_wake() {
+    generation_.fetch_add(1, std::memory_order_release);
+    generation_.notify_all();
   }
 
  private:
@@ -62,6 +90,7 @@ class Rendezvous {
   int size_;
   std::atomic<int> arrived_{0};
   std::atomic<std::uint64_t> generation_{0};
+  JobControl* control_ = nullptr;
 };
 
 }  // namespace vpar::simrt

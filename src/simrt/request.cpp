@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "perf/recorder.hpp"
+
 namespace vpar::simrt {
 
 Request& Request::operator=(Request&& other) noexcept {
@@ -27,12 +29,36 @@ void Request::cancel() noexcept {
 
 void Request::wait() {
   if (!state_) return;
+  JobControl* control = state_->control;
   std::unique_lock lock(state_->mutex);
-  state_->cv.wait(lock, [&] { return state_->complete; });
+  BlockGuard guard;
+  for (;;) {
+    if (state_->complete) break;
+    if (control != nullptr && control->aborted()) {
+      // The match will never arrive: mark cancelled so the deliverer skips
+      // this (soon to dangle) buffer, then surface the abort.
+      state_->cancelled = true;
+      lock.unlock();
+      state_.reset();
+      control->throw_aborted();
+    }
+    if (control != nullptr) {
+      guard.engage(*control, state_->owner, BlockKind::RequestWait,
+                   "wait(irecv)", state_->want_source, state_->want_tag);
+    }
+    state_->cv.wait(lock);
+  }
   const std::string error = state_->error;
+  const bool checksum = state_->checksum_error;
   lock.unlock();
   state_.reset();
-  if (!error.empty()) throw std::runtime_error(error);
+  if (!error.empty()) {
+    if (checksum) {
+      perf::record_checksum_failure();
+      throw ChecksumError(error);
+    }
+    throw std::runtime_error(error);
+  }
 }
 
 bool Request::test() {
@@ -40,9 +66,16 @@ bool Request::test() {
   std::unique_lock lock(state_->mutex);
   if (!state_->complete) return false;
   const std::string error = state_->error;
+  const bool checksum = state_->checksum_error;
   lock.unlock();
   state_.reset();
-  if (!error.empty()) throw std::runtime_error(error);
+  if (!error.empty()) {
+    if (checksum) {
+      perf::record_checksum_failure();
+      throw ChecksumError(error);
+    }
+    throw std::runtime_error(error);
+  }
   return true;
 }
 

@@ -7,6 +7,8 @@
 #include <span>
 #include <string>
 
+#include "simrt/fault.hpp"
+
 namespace vpar::simrt {
 
 /// Shared completion state of one nonblocking operation. Receives park here
@@ -20,12 +22,18 @@ struct RequestState {
   std::condition_variable cv;
   bool complete = false;
   bool cancelled = false;
+  bool checksum_error = false;
   std::string error;
 
   // Matching metadata and destination of a posted receive.
   int want_source = 0;
   int want_tag = 0;
   std::span<std::byte> dest{};
+
+  // Owning rank's job control block (set by Mailbox::post_recv); lets wait()
+  // honour cooperative abort and register with the deadlock watchdog.
+  JobControl* control = nullptr;
+  int owner = 0;
 };
 
 /// Handle to a nonblocking send or receive. Move-only, MPI_Request-flavoured:

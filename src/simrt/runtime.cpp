@@ -1,6 +1,9 @@
 #include "simrt/runtime.hpp"
 
+#include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
 
 namespace vpar::simrt {
 
@@ -10,28 +13,214 @@ namespace {
 /// job must not try to borrow the pool it is running on.
 thread_local bool t_in_worker = false;
 
-/// Legacy spawn-per-run path, kept as the nested-run fallback.
-RunResult run_spawned(int size, const std::function<void(Communicator&)>& body) {
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Environment-armed default watchdog (VPAR_WATCHDOG_MS): applied to every
+/// job whose options do not arm one explicitly. Read once per process.
+std::chrono::milliseconds env_watchdog() {
+  static const std::chrono::milliseconds value = [] {
+    const char* s = std::getenv("VPAR_WATCHDOG_MS");
+    const long ms = (s != nullptr) ? std::strtol(s, nullptr, 10) : 0;
+    return std::chrono::milliseconds(ms > 0 ? ms : 0);
+  }();
+  return value;
+}
+
+RunOptions with_defaults(RunOptions options) {
+  if (options.watchdog.count() <= 0) options.watchdog = env_watchdog();
+  return options;
+}
+
+/// Between-scan state of the deadlock detector: the last sampled per-rank
+/// seq counters. A deadlock verdict requires the counters to be stable
+/// across two scans (one wait chunk apart) so a rank caught between a
+/// notify and its wake-up is never misread as stuck.
+struct WatchdogMemory {
+  std::vector<std::uint64_t> seqs;
+  bool primed = false;
+};
+
+/// One deadlock scan over the job's blocked-state registry. Returns the
+/// full per-rank report if the job is deadlocked (every unfinished rank
+/// blocked, no progress across two scans, newest block older than the
+/// timeout), else an empty string.
+std::string deadlock_report(RuntimeState& state, WatchdogMemory& memory,
+                            std::chrono::nanoseconds timeout,
+                            std::uint64_t generation) {
+  const int P = state.size;
+  std::vector<std::uint64_t> seqs(static_cast<std::size_t>(P));
+  bool any_blocked = false;
+  std::uint64_t newest = 0;
+  for (int r = 0; r < P; ++r) {
+    const auto& s = state.control.status(r);
+    seqs[static_cast<std::size_t>(r)] = s.seq.load(std::memory_order_acquire);
+    if (s.finished.load(std::memory_order_acquire)) continue;
+    if (s.blocked.load(std::memory_order_acquire) == 0) {
+      memory.primed = false;  // someone is running: the job is alive
+      return {};
+    }
+    any_blocked = true;
+    newest = std::max(newest, s.since_ns.load(std::memory_order_relaxed));
+  }
+  if (!any_blocked) return {};  // everyone finished; the job is draining
+  if (!memory.primed || memory.seqs != seqs) {
+    memory.seqs = std::move(seqs);
+    memory.primed = true;
+    return {};
+  }
+  const std::uint64_t now = now_ns();
+  if (now - newest < static_cast<std::uint64_t>(timeout.count())) return {};
+
+  auto ms_since = [now](std::uint64_t since) {
+    return std::to_string((now - since) / 1'000'000);
+  };
+  std::string report = "deadlock watchdog: no progress for " +
+                       std::to_string(timeout.count() / 1'000'000) +
+                       " ms (P=" + std::to_string(P) + ", job generation " +
+                       std::to_string(generation) + ")";
+  for (int r = 0; r < P; ++r) {
+    const auto& s = state.control.status(r);
+    report += "\n  rank " + std::to_string(r) + ": ";
+    if (s.finished.load(std::memory_order_acquire)) {
+      report += "finished";
+      continue;
+    }
+    const auto kind =
+        static_cast<BlockKind>(s.blocked.load(std::memory_order_acquire));
+    const char* what = s.what.load(std::memory_order_relaxed);
+    report += "blocked in ";
+    report += (what != nullptr) ? what : "unknown wait";
+    if (kind == BlockKind::Recv || kind == BlockKind::RequestWait) {
+      report += " (source " + std::to_string(s.source.load(std::memory_order_relaxed)) +
+                ", tag " + std::to_string(s.tag.load(std::memory_order_relaxed)) + ")";
+    }
+    report += " for " + ms_since(s.since_ns.load(std::memory_order_relaxed)) + " ms";
+    const char* op = s.last_op.load(std::memory_order_relaxed);
+    if (op != nullptr) {
+      report += "; comm call #" +
+                std::to_string(s.calls.load(std::memory_order_relaxed)) + " (" +
+                op + ")";
+    }
+    const auto stats = state.mailboxes[static_cast<std::size_t>(r)].stats();
+    report += "; mailbox: " + std::to_string(stats.queued) + " queued, " +
+              std::to_string(stats.pending) + " pending recv";
+  }
+  return report;
+}
+
+/// Chunked wait quantum for the watchdog scanner: responsive for short
+/// timeouts without spinning, cheap for long ones.
+std::chrono::nanoseconds watchdog_chunk(std::chrono::nanoseconds timeout) {
+  return std::chrono::nanoseconds(std::clamp<std::int64_t>(
+      timeout.count() / 4, 5'000'000, 200'000'000));
+}
+
+/// Annotate one rank's escaped exception for the run() caller and record it
+/// as the job's first error (first failure wins). JobAborted observations
+/// are secondary by construction — whoever triggered the abort recorded the
+/// primary error first — so they only land if nothing else was recorded.
+/// The primary failure cooperatively aborts the job, waking blocked peers.
+void record_rank_failure(RuntimeState& state, int rank,
+                         const std::exception_ptr& error, std::mutex& mutex,
+                         std::exception_ptr& first_error) {
+  bool is_abort = false;
+  std::string reason;
+  std::exception_ptr annotated;
+  try {
+    std::rethrow_exception(error);
+  } catch (const JobAborted&) {
+    is_abort = true;
+    annotated = error;
+  } catch (const std::exception& e) {
+    const auto& s = state.control.status(rank);
+    const char* op = s.last_op.load(std::memory_order_relaxed);
+    reason = "rank " + std::to_string(rank) + " failed";
+    if (op != nullptr) {
+      reason += " in comm call #" +
+                std::to_string(s.calls.load(std::memory_order_relaxed)) + " (" +
+                op + ")";
+    }
+    reason += ": " + std::string(e.what());
+    annotated = std::make_exception_ptr(RankError(rank, reason));
+  } catch (...) {
+    reason = "rank " + std::to_string(rank) +
+             " failed with a non-standard exception";
+    annotated = std::make_exception_ptr(RankError(rank, reason));
+  }
+
+  bool primary = false;
+  {
+    std::lock_guard lock(mutex);
+    if (!first_error) {
+      first_error = annotated;
+      primary = !is_abort;
+    }
+  }
+  if (primary) state.control.abort(reason);
+}
+
+/// Legacy spawn-per-run path, kept as the nested-run fallback; honours the
+/// same RunOptions (fault plan, checksums, watchdog) as the pooled path.
+RunResult run_spawned(const RunOptions& options,
+                      const std::function<void(Communicator&)>& body) {
+  const int size = options.size;
   RuntimeState state(size);
+  state.control.configure(options);
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(size));
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  std::mutex mutex;
+  std::condition_variable cv_done;
+  int remaining = size;
 
   for (int rank = 0; rank < size; ++rank) {
     threads.emplace_back([&, rank] {
-      perf::ScopedRecorder scoped(state.recorders[static_cast<std::size_t>(rank)]);
-      Communicator comm(state, rank);
-      try {
-        body(comm);
-      } catch (...) {
-        std::lock_guard lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        // A dead rank would deadlock peers waiting in barriers/receives;
-        // there is no clean recovery, so peers relying on this rank will
-        // hang only if the test itself is broken. We still join below.
+      {
+        perf::ScopedRecorder scoped(state.recorders[static_cast<std::size_t>(rank)]);
+        Communicator comm(state, rank);
+        try {
+          body(comm);
+        } catch (...) {
+          record_rank_failure(state, rank, std::current_exception(), mutex,
+                              first_error);
+        }
+      }
+      state.control.finish(rank);
+      {
+        std::lock_guard lock(mutex);
+        if (--remaining == 0) cv_done.notify_all();
       }
     });
+  }
+
+  {
+    std::unique_lock lock(mutex);
+    if (!state.control.watchdog_armed()) {
+      cv_done.wait(lock, [&] { return remaining == 0; });
+    } else {
+      const auto timeout = state.control.watchdog();
+      const auto chunk = watchdog_chunk(timeout);
+      WatchdogMemory memory;
+      while (remaining != 0) {
+        if (cv_done.wait_for(lock, chunk, [&] { return remaining == 0; })) break;
+        std::string report = deadlock_report(state, memory, timeout, 0);
+        if (report.empty()) continue;
+        if (!first_error) {
+          first_error = std::make_exception_ptr(WatchdogTimeout(report));
+        }
+        lock.unlock();
+        state.control.abort(std::move(report));
+        lock.lock();
+        cv_done.wait(lock, [&] { return remaining == 0; });
+        break;
+      }
+    }
   }
   for (auto& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
@@ -90,12 +279,11 @@ void Executor::worker_loop(int rank, std::uint64_t seen) {
       try {
         (*body)(comm);
       } catch (...) {
-        std::lock_guard lock(mutex_);
-        if (!first_error_) first_error_ = std::current_exception();
-        // As in the spawned path: a dead rank deadlocks peers only if the
-        // job itself is broken; the remaining ranks drain normally.
+        record_rank_failure(*state, rank, std::current_exception(), mutex_,
+                            first_error_);
       }
     }
+    state->control.finish(rank);
     {
       std::lock_guard lock(mutex_);
       if (--remaining_ == 0) cv_done_.notify_all();
@@ -103,7 +291,43 @@ void Executor::worker_loop(int rank, std::uint64_t seen) {
   }
 }
 
+void Executor::wait_for_job(std::unique_lock<std::mutex>& lock) {
+  RuntimeState& state = *job_state_;
+  if (!state.control.watchdog_armed()) {
+    cv_done_.wait(lock, [&] { return remaining_ == 0; });
+    return;
+  }
+  const auto timeout = state.control.watchdog();
+  const auto chunk = watchdog_chunk(timeout);
+  WatchdogMemory memory;
+  while (remaining_ != 0) {
+    if (cv_done_.wait_for(lock, chunk, [&] { return remaining_ == 0; })) break;
+    // The scan reads only atomics and per-mailbox stats; holding mutex_
+    // here cannot deadlock because no worker ever holds a mailbox lock
+    // while taking mutex_.
+    std::string report = deadlock_report(state, memory, timeout, generation_);
+    if (report.empty()) continue;
+    if (!first_error_) {
+      first_error_ = std::make_exception_ptr(WatchdogTimeout(report));
+    }
+    lock.unlock();
+    state.control.abort(std::move(report));
+    lock.lock();
+    cv_done_.wait(lock, [&] { return remaining_ == 0; });
+    break;
+  }
+}
+
 RunResult Executor::run(int size, const std::function<void(Communicator&)>& body) {
+  RunOptions options;
+  options.size = size;
+  return run(options, body);
+}
+
+RunResult Executor::run(const RunOptions& options_in,
+                        const std::function<void(Communicator&)>& body) {
+  const RunOptions options = with_defaults(options_in);
+  const int size = options.size;
   if (size <= 0) throw std::runtime_error("simrt::run: size must be positive");
   std::lock_guard serial(run_mutex_);
 
@@ -112,6 +336,7 @@ RunResult Executor::run(int size, const std::function<void(Communicator&)>& body
   } else {
     state_->reset();
   }
+  state_->control.configure(options);
 
   {
     std::lock_guard lock(mutex_);
@@ -132,13 +357,14 @@ RunResult Executor::run(int size, const std::function<void(Communicator&)>& body
   cv_job_.notify_all();
   {
     std::unique_lock lock(mutex_);
-    cv_done_.wait(lock, [&] { return remaining_ == 0; });
+    wait_for_job(lock);
   }
 
   if (first_error_) {
-    // A failed job may have left messages or registry entries behind; drop
-    // the cached state so the next run starts from scratch. The pool's
-    // workers are already parked again and stay usable.
+    // A failed job may have left messages, registry entries or a forfeited
+    // rendezvous generation behind; drop the cached state so the next run
+    // starts from scratch. The pool's workers are already parked again and
+    // stay usable.
     state_.reset();
     std::exception_ptr error = first_error_;
     first_error_ = nullptr;
@@ -152,9 +378,35 @@ RunResult Executor::run(int size, const std::function<void(Communicator&)>& body
 }
 
 RunResult run(int size, const std::function<void(Communicator&)>& body) {
-  if (size <= 0) throw std::runtime_error("simrt::run: size must be positive");
-  if (t_in_worker) return run_spawned(size, body);
-  return Executor::shared().run(size, body);
+  RunOptions options;
+  options.size = size;
+  return run(options, body);
+}
+
+RunResult run(const RunOptions& options,
+              const std::function<void(Communicator&)>& body) {
+  if (options.size <= 0) {
+    throw std::runtime_error("simrt::run: size must be positive");
+  }
+  if (t_in_worker) return run_spawned(with_defaults(options), body);
+  return Executor::shared().run(options, body);
+}
+
+RetryResult run_with_retry(RunOptions options,
+                           const std::function<void(Communicator&)>& body,
+                           const RetryPolicy& policy) {
+  auto backoff = policy.backoff;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return RetryResult{run(options, body), attempt + 1};
+    } catch (...) {
+      if (attempt >= policy.max_retries) throw;
+      if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+      backoff = std::chrono::milliseconds(static_cast<std::int64_t>(
+          static_cast<double>(backoff.count()) * policy.backoff_factor));
+      if (policy.disarm_faults_on_retry) options.fault = FaultPlan{};
+    }
+  }
 }
 
 }  // namespace vpar::simrt

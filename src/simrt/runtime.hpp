@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -11,6 +12,7 @@
 
 #include "perf/recorder.hpp"
 #include "simrt/communicator.hpp"
+#include "simrt/fault.hpp"
 
 namespace vpar::simrt {
 
@@ -51,6 +53,18 @@ class Executor {
   /// with a perf::Recorder installed on every rank.
   RunResult run(int size, const std::function<void(Communicator&)>& body);
 
+  /// As above, with per-job robustness options: a seeded fault-injection
+  /// plan, per-message checksums, and the deadlock watchdog. When the
+  /// watchdog is armed and every unfinished rank sits in a blocking wait
+  /// with no progress for longer than the timeout, the job is cooperatively
+  /// aborted and a WatchdogTimeout carrying the per-rank blocked-state
+  /// report is rethrown here. A rank failure is rethrown as a RankError
+  /// naming the failing rank and its last communication call site; its
+  /// peers are woken out of their blocking waits (JobAborted) instead of
+  /// deadlocking, and the pool stays healthy for the next job.
+  RunResult run(const RunOptions& options,
+                const std::function<void(Communicator&)>& body);
+
   /// Worker threads currently owned by the pool (== the largest job size
   /// seen so far).
   [[nodiscard]] int workers();
@@ -60,6 +74,10 @@ class Executor {
 
  private:
   void worker_loop(int rank, std::uint64_t seen);
+
+  /// Caller-thread wait for job completion; when the job's watchdog is
+  /// armed, doubles as the deadlock scanner (no extra thread).
+  void wait_for_job(std::unique_lock<std::mutex>& lock);
 
   std::mutex run_mutex_;  // serializes whole run() invocations
 
@@ -83,6 +101,44 @@ class Executor {
 /// inside a worker fall back to spawning dedicated threads (the pool cannot
 /// host a job within a job). Exceptions thrown by any rank are rethrown
 /// (first one wins) after all ranks have finished.
+///
+/// Setting VPAR_WATCHDOG_MS in the environment arms the deadlock watchdog
+/// for every job whose options do not arm it explicitly — the chaos-audit
+/// switch for whole test-suite runs.
 RunResult run(int size, const std::function<void(Communicator&)>& body);
+
+/// Options-carrying variant (fault injection, checksums, watchdog); see
+/// Executor::run(const RunOptions&, ...). The nested-run fallback honours
+/// the same options.
+RunResult run(const RunOptions& options,
+              const std::function<void(Communicator&)>& body);
+
+/// Harness-level recovery policy for run_with_retry.
+struct RetryPolicy {
+  /// Additional attempts after the first failure.
+  int max_retries = 2;
+  /// Sleep before the first retry; multiplied by backoff_factor after each.
+  std::chrono::milliseconds backoff{10};
+  double backoff_factor = 2.0;
+  /// Strip the fault plan from the options on retry — the model for "the
+  /// transient fault does not recur on the restarted run".
+  bool disarm_faults_on_retry = true;
+};
+
+struct RetryResult {
+  RunResult result;
+  /// Total run() attempts made (1 == first try succeeded).
+  int attempts = 1;
+};
+
+/// Run with bounded retries and exponential backoff: on any failure the job
+/// is rerun (after backoff) up to policy.max_retries more times; the last
+/// failure is rethrown if all attempts fail. Combined with application-level
+/// save_state/restore_state checkpoints, this is the restart half of the
+/// checkpoint/restart story — the body decides whether to start clean or
+/// restore from its last checkpoint.
+RetryResult run_with_retry(RunOptions options,
+                           const std::function<void(Communicator&)>& body,
+                           const RetryPolicy& policy = {});
 
 }  // namespace vpar::simrt
