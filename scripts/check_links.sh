@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Docs link gate: every intra-repo markdown link in README.md and docs/*.md
+# must resolve to a real file. External (http/https/mailto) links are not
+# checked — this is a structural gate, not a crawler.
+#
+# Usage: scripts/check_links.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+for doc in README.md docs/*.md; do
+  [[ -f "$doc" ]] || continue
+  dir="$(dirname "$doc")"
+  # Inline markdown links: [text](target), excluding images' URLs handled the
+  # same way. grep -o keeps one link per line even when several share a line.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    path="${target%%#*}"           # strip any #anchor
+    [[ -z "$path" ]] && continue   # pure-anchor link into the same file
+    if [[ ! -e "$dir/$path" && ! -e "$path" ]]; then
+      echo "check_links: $doc -> broken link '$target'" >&2
+      fail=1
+    fi
+  done < <(grep -o '\[[^][]*\]([^()[:space:]]*)' "$doc" \
+             | sed 's/.*(\(.*\))/\1/' || true)
+done
+
+if (( fail )); then
+  echo "check_links: FAILED" >&2
+  exit 1
+fi
+echo "check_links: all intra-repo markdown links resolve."

@@ -7,7 +7,18 @@ namespace vpar::arch {
 Prediction MachineModel::predict(const AppProfile& app) const {
   Prediction p;
   p.platform = spec_->name;
+  p.threads_per_rank = app.threads_per_rank;
   p.compute_seconds = cpu_.profile_seconds(app.kernels);
+  // Hybrid threading: loop-level threads split every kernel sweep at the
+  // profile's efficiency, so compute time (and each region's share) divides
+  // by the effective thread speedup. Communication is per rank and is not
+  // sped up — exactly why the paper's hybrid GTC trails pure MPI per CPU.
+  // (t * eff may be < 1: a bad split genuinely models slower than serial.)
+  const double thread_speedup =
+      app.threads_per_rank > 1 && app.thread_efficiency > 0.0
+          ? static_cast<double>(app.threads_per_rank) * app.thread_efficiency
+          : 1.0;
+  p.compute_seconds /= thread_speedup;
   const CommTime comm = net_.time(app.comm, app.procs);
   p.comm_serialized_seconds = comm.serialized;
   p.comm_overlapped_seconds = comm.overlapped;
@@ -19,6 +30,9 @@ Prediction MachineModel::predict(const AppProfile& app) const {
   p.comm_seconds = comm.total() - p.comm_hidden_seconds;
   p.seconds = p.compute_seconds + p.comm_seconds;
   p.region_seconds = cpu_.region_seconds(app.kernels);
+  if (thread_speedup != 1.0) {
+    for (auto& [region, seconds] : p.region_seconds) seconds /= thread_speedup;
+  }
 
   if (p.seconds > 0.0 && app.procs > 0) {
     p.gflops_per_proc =

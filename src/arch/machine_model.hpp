@@ -21,6 +21,15 @@ struct AppProfile {
   perf::CommProfile comm;       ///< same rank's communication
   double baseline_flops = 0.0;  ///< total across ALL ranks
   int procs = 1;
+  /// Hybrid (MPI+OpenMP-style) threading dimension: loop-level threads each
+  /// rank spreads its kernel sweeps over (the paper's hybrid GTC rows; the
+  /// simrt analogue is parallel_for helpers). procs counts CPUs, so with
+  /// threads_per_rank = t there are procs/t ranks; the comm profile is still
+  /// per *rank*. Compute time divides by t * thread_efficiency (> 1 thread).
+  int threads_per_rank = 1;
+  /// Parallel efficiency of the loop split (paper: ~0.5 — the hybrid 1024-way
+  /// GTC run is ~20% slower than 64-way MPI despite 16x the CPUs).
+  double thread_efficiency = 0.5;
 };
 
 /// Paper-style result for one (application, platform, concurrency) cell.
@@ -36,6 +45,7 @@ struct Prediction {
   double pct_peak = 0.0;          ///< gflops_per_proc / platform peak
   double vor = 0.0;               ///< vector platforms only, else 0
   double avl = 0.0;               ///< vector platforms only, else 0
+  int threads_per_rank = 1;       ///< echoed from the profile (hybrid rows)
   std::map<std::string, double> region_seconds;
 };
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "perf/recorder.hpp"
+#include "simrt/parallel.hpp"
 
 namespace vpar::blas {
 
@@ -58,51 +59,67 @@ void gemm_impl(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
                T beta, T* c, std::size_t ldc) {
   constexpr std::size_t kBlock = 64;
 
-  // Scale C by beta up front.
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      c[i * ldc + j] = beta == T{} ? T{} : c[i * ldc + j] * beta;
+  // Distinct i0 row blocks write disjoint rows of C, so the outer block loop
+  // splits across idle pool workers. Each serving thread packs into its own
+  // buffers, and each C element still sees beta-scale followed by its k
+  // products in the reference (i, p, j) order — bitwise identical to the
+  // serial blocked form.
+  const std::size_t row_blocks = (m + kBlock - 1) / kBlock;
+  simrt::parallel_for(0, row_blocks, 1, [&](std::size_t b0, std::size_t b1) {
+    // Pack buffers are per serving thread and reused across calls — the
+    // steady-state gemm stream must not touch the allocator.
+    static thread_local std::vector<T> a_block;
+    static thread_local std::vector<T> b_block;
+    if (a_block.size() < kBlock * kBlock) {
+      a_block.resize(kBlock * kBlock);
+      b_block.resize(kBlock * kBlock);
     }
-  }
-
-  std::vector<T> a_block(kBlock * kBlock);
-  std::vector<T> b_block(kBlock * kBlock);
-  for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
-    const std::size_t i1 = std::min(i0 + kBlock, m);
-    for (std::size_t p0 = 0; p0 < k; p0 += kBlock) {
-      const std::size_t p1 = std::min(p0 + kBlock, k);
-      // Pack op(A) block once; it is reused across the whole j sweep.
+    for (std::size_t blk = b0; blk < b1; ++blk) {
+      const std::size_t i0 = blk * kBlock;
+      const std::size_t i1 = std::min(i0 + kBlock, m);
+      // Scale this block's rows of C by beta.
       for (std::size_t i = i0; i < i1; ++i) {
-        for (std::size_t p = p0; p < p1; ++p) {
-          a_block[(i - i0) * kBlock + (p - p0)] = fetch(ta, a, lda, i, p);
+        for (std::size_t j = 0; j < n; ++j) {
+          c[i * ldc + j] = beta == T{} ? T{} : c[i * ldc + j] * beta;
         }
       }
-      for (std::size_t j0 = 0; j0 < n; j0 += kBlock) {
-        const std::size_t j1 = std::min(j0 + kBlock, n);
-        const std::size_t jw = j1 - j0;
-        // Pack op(B) into contiguous rows: the transpose layouts otherwise
-        // stride the inner loop by ldb, and even the plain layout goes
-        // through the per-element fetch switch. Packing resolves the
-        // orientation once per tile and leaves an unaliased unit-stride row.
-        for (std::size_t p = p0; p < p1; ++p) {
-          T* dst = b_block.data() + (p - p0) * kBlock;
-          for (std::size_t j = j0; j < j1; ++j) dst[j - j0] = fetch(tb, b, ldb, p, j);
-        }
-        // Same (i, p, j) update order as the unpacked form, so each C element
-        // accumulates its k products in an identical sequence.
+      for (std::size_t p0 = 0; p0 < k; p0 += kBlock) {
+        const std::size_t p1 = std::min(p0 + kBlock, k);
+        // Pack op(A) block once; it is reused across the whole j sweep.
         for (std::size_t i = i0; i < i1; ++i) {
-          T* __restrict crow = c + i * ldc + j0;
           for (std::size_t p = p0; p < p1; ++p) {
-            const T aip = alpha * a_block[(i - i0) * kBlock + (p - p0)];
-            const T* __restrict brow = b_block.data() + (p - p0) * kBlock;
-            for (std::size_t j = 0; j < jw; ++j) {
-              crow[j] += aip * brow[j];
+            a_block[(i - i0) * kBlock + (p - p0)] = fetch(ta, a, lda, i, p);
+          }
+        }
+        for (std::size_t j0 = 0; j0 < n; j0 += kBlock) {
+          const std::size_t j1 = std::min(j0 + kBlock, n);
+          const std::size_t jw = j1 - j0;
+          // Pack op(B) into contiguous rows: the transpose layouts otherwise
+          // stride the inner loop by ldb, and even the plain layout goes
+          // through the per-element fetch switch. Packing resolves the
+          // orientation once per tile and leaves an unaliased unit-stride row.
+          for (std::size_t p = p0; p < p1; ++p) {
+            T* dst = b_block.data() + (p - p0) * kBlock;
+            for (std::size_t j = j0; j < j1; ++j) {
+              dst[j - j0] = fetch(tb, b, ldb, p, j);
+            }
+          }
+          // Same (i, p, j) update order as the unpacked form, so each C element
+          // accumulates its k products in an identical sequence.
+          for (std::size_t i = i0; i < i1; ++i) {
+            T* __restrict crow = c + i * ldc + j0;
+            for (std::size_t p = p0; p < p1; ++p) {
+              const T aip = alpha * a_block[(i - i0) * kBlock + (p - p0)];
+              const T* __restrict brow = b_block.data() + (p - p0) * kBlock;
+              for (std::size_t j = 0; j < jw; ++j) {
+                crow[j] += aip * brow[j];
+              }
             }
           }
         }
       }
     }
-  }
+  });
 }
 
 }  // namespace

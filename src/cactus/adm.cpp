@@ -5,6 +5,7 @@
 
 #include "cactus/deriv.hpp"
 #include "perf/recorder.hpp"
+#include "simrt/parallel.hpp"
 
 namespace vpar::cactus {
 
@@ -182,26 +183,34 @@ void compute_rhs(const GridFunctions& state, GridFunctions& rhs, double h,
   const std::ptrdiff_t s0 = state.sx(), s1 = state.sy(), s2 = state.sz();
 
   const std::size_t iw = i1 - i0;
+  // The stencil only *reads* state and *writes* rhs, and distinct k planes
+  // write disjoint rhs points, so the k sweep splits across idle pool
+  // workers bitwise-safely (rhs_chunk's slice buffers live on each serving
+  // thread's stack).
   if (variant == RhsVariant::Vector || block >= iw) {
-    for (std::size_t k = k0; k < k1; ++k) {
-      for (std::size_t j = j0; j < j1; ++j) {
-        const std::size_t row = state.at(static_cast<std::ptrdiff_t>(k),
-                                         static_cast<std::ptrdiff_t>(j),
-                                         static_cast<std::ptrdiff_t>(i0));
-        rhs_span(f, s0, s1, s2, row, iw, inv_12h2, inv_144h2);
-      }
-    }
-  } else {
-    for (std::size_t ib = i0; ib < i1; ib += block) {
-      const std::size_t ie = std::min(ib + block, i1);
-      for (std::size_t k = k0; k < k1; ++k) {
+    simrt::parallel_for(k0, k1, 1, [&](std::size_t ka, std::size_t kb) {
+      for (std::size_t k = ka; k < kb; ++k) {
         for (std::size_t j = j0; j < j1; ++j) {
           const std::size_t row = state.at(static_cast<std::ptrdiff_t>(k),
                                            static_cast<std::ptrdiff_t>(j),
-                                           static_cast<std::ptrdiff_t>(ib));
-          rhs_span(f, s0, s1, s2, row, ie - ib, inv_12h2, inv_144h2);
+                                           static_cast<std::ptrdiff_t>(i0));
+          rhs_span(f, s0, s1, s2, row, iw, inv_12h2, inv_144h2);
         }
       }
+    });
+  } else {
+    for (std::size_t ib = i0; ib < i1; ib += block) {
+      const std::size_t ie = std::min(ib + block, i1);
+      simrt::parallel_for(k0, k1, 1, [&](std::size_t ka, std::size_t kb) {
+        for (std::size_t k = ka; k < kb; ++k) {
+          for (std::size_t j = j0; j < j1; ++j) {
+            const std::size_t row = state.at(static_cast<std::ptrdiff_t>(k),
+                                             static_cast<std::ptrdiff_t>(j),
+                                             static_cast<std::ptrdiff_t>(ib));
+            rhs_span(f, s0, s1, s2, row, ie - ib, inv_12h2, inv_144h2);
+          }
+        }
+      });
     }
   }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "perf/recorder.hpp"
+#include "simrt/parallel.hpp"
 
 namespace vpar::gtc {
 
@@ -166,6 +167,50 @@ void deposit(const ParticleSet& particles, TorusGrid& grid, DepositVariant varia
         perf::LoopRecord rec;  // the reduction sweep (reads, adds, re-zeroes)
         rec.vectorizable = true;
         rec.instances = static_cast<double>(vlen);
+        rec.trips = static_cast<double>(copy);
+        rec.flops_per_trip = 1.0;
+        rec.bytes_per_trip = 3.0 * sizeof(double);
+        rec.access = perf::AccessPattern::Stream;
+        perf::record_loop("charge_deposition", rec);
+      }
+      return;
+    }
+
+    case DepositVariant::Hybrid: {
+      // Fixed partition: chunk c covers [c*grain, (c+1)*grain) regardless of
+      // pool size or helper participation, and the fold below runs in
+      // ascending chunk order — so hybrid and serial execution accumulate
+      // every grid point in exactly the same sequence (bitwise identical).
+      const std::size_t copy =
+          static_cast<std::size_t>(grid.planes_local() + 1) * plane_stride;
+      const std::size_t grain =
+          std::max<std::size_t>(1, (n + kHybridDepositChunks - 1) /
+                                       kHybridDepositChunks);
+      static thread_local std::vector<double> partial;
+      if (partial.size() != kHybridDepositChunks * copy) {
+        partial.assign(kHybridDepositChunks * copy, 0.0);
+      }
+      double* const partial_base = partial.data();
+      simrt::parallel_for(0, n, grain, [&](std::size_t lo, std::size_t hi) {
+        double* mine = partial_base + (lo / grain) * copy;
+        for (std::size_t i = lo; i < hi; ++i) {
+          deposit_one(particles, i, grid, mine, plane_stride);
+        }
+      });
+      // Deterministic reduction, re-zeroing behind the read like WorkVector.
+      double* __restrict charge = grid.charge().data();
+      for (std::size_t c = 0; c < kHybridDepositChunks; ++c) {
+        double* __restrict w = partial_base + c * copy;
+        for (std::size_t k = 0; k < copy; ++k) {
+          charge[k] += w[k];
+          w[k] = 0.0;
+        }
+      }
+      record_deposit(grid, n, /*vectorizable=*/false, grain);
+      {
+        perf::LoopRecord rec;  // the chunk-copy reduction sweep
+        rec.vectorizable = true;
+        rec.instances = static_cast<double>(kHybridDepositChunks);
         rec.trips = static_cast<double>(copy);
         rec.flops_per_trip = 1.0;
         rec.bytes_per_trip = 3.0 * sizeof(double);

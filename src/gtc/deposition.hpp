@@ -21,9 +21,22 @@ namespace vpar::gtc {
 ///  - Sorted:     counting-sort particles by cell, then deposit in cell
 ///                order (conflict-free groups); trades extra integer work
 ///                and data movement for vectorizability.
+///  - Hybrid:     the paper's MPI+OpenMP mode under the simrt pool: the
+///                particle range is cut into kHybridDepositChunks fixed
+///                chunks served by simrt::parallel_for, each accumulating
+///                into a private grid copy, folded into the charge grid in
+///                ascending chunk order. Because the partition and the fold
+///                order are fixed (independent of how many pool workers
+///                participate), the result is bitwise identical whether the
+///                loop ran serial or across helpers.
 /// All variants produce the same charge field up to floating-point
 /// summation order.
-enum class DepositVariant { Scatter, WorkVector, Sorted };
+enum class DepositVariant { Scatter, WorkVector, Sorted, Hybrid };
+
+/// Fixed chunk count of DepositVariant::Hybrid (the determinism contract
+/// above). 8 private grid copies — the same memory blow-up class as a
+/// vlen-8 work vector.
+inline constexpr std::size_t kHybridDepositChunks = 8;
 
 /// Periodic wrap of a coordinate into [0, n). The overwhelmingly common case
 /// is a coordinate at most one period out of range (a drift step or ring

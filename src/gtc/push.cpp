@@ -6,6 +6,7 @@
 
 #include "gtc/deposition.hpp"
 #include "perf/recorder.hpp"
+#include "simrt/parallel.hpp"
 
 namespace vpar::gtc {
 
@@ -26,32 +27,37 @@ void gather_push(ParticleSet& particles, const TorusGrid& grid,
   const double nx = static_cast<double>(grid.ngx());
   const double ny = static_cast<double>(grid.ngy());
 
-  DepositStencil st;
-  for (std::size_t i = 0; i < n; ++i) {
-    compute_stencil(grid, particles.x[i], particles.y[i], particles.zeta[i],
-                    particles.rho[i], st);
-    double ex = 0.0, ey = 0.0;
-    for (int b = 0; b < 2; ++b) {
-      const bool ghost = st.plane[b] == grid.planes_local();
-      const double* exp_ = ghost ? ex_ghost.data() : grid.ex_plane(st.plane[b]);
-      const double* eyp = ghost ? ey_ghost.data() : grid.ey_plane(st.plane[b]);
-      const double w = st.wplane[b];
-      for (int c = 0; c < 16; ++c) {
-        // One shared weight product per cell; left-to-right evaluation makes
-        // this the same rounding as the w * wcell * field form.
-        const double wc = w * st.wcell[c];
-        ex += wc * exp_[st.cell[c]];
-        ey += wc * eyp[st.cell[c]];
+  // Each marker only reads the field planes and writes its own slots, so the
+  // particle loop splits across idle pool workers bitwise-safely; the stencil
+  // scratch is per-chunk so serving threads never share it.
+  simrt::parallel_for(0, n, 0, [&](std::size_t lo, std::size_t hi) {
+    DepositStencil st;
+    for (std::size_t i = lo; i < hi; ++i) {
+      compute_stencil(grid, particles.x[i], particles.y[i], particles.zeta[i],
+                      particles.rho[i], st);
+      double ex = 0.0, ey = 0.0;
+      for (int b = 0; b < 2; ++b) {
+        const bool ghost = st.plane[b] == grid.planes_local();
+        const double* exp_ = ghost ? ex_ghost.data() : grid.ex_plane(st.plane[b]);
+        const double* eyp = ghost ? ey_ghost.data() : grid.ey_plane(st.plane[b]);
+        const double w = st.wplane[b];
+        for (int c = 0; c < 16; ++c) {
+          // One shared weight product per cell; left-to-right evaluation makes
+          // this the same rounding as the w * wcell * field form.
+          const double wc = w * st.wcell[c];
+          ex += wc * exp_[st.cell[c]];
+          ey += wc * eyp[st.cell[c]];
+        }
       }
+      // ExB drift with B = b0 z-hat (the gyro-average is the 4-point ring).
+      // One drift step moves a marker at most one period, so the wrap fast
+      // path applies almost always; it is bitwise identical to fmod-then-fixup.
+      particles.x[i] = wrap_periodic(particles.x[i] + dt * ey / b0, nx);
+      particles.y[i] = wrap_periodic(particles.y[i] - dt * ex / b0, ny);
+      particles.zeta[i] =
+          wrap_periodic(particles.zeta[i] + dt * particles.vpar[i], two_pi);
     }
-    // ExB drift with B = b0 z-hat (the gyro-average is the 4-point ring).
-    // One drift step moves a marker at most one period, so the wrap fast
-    // path applies almost always; it is bitwise identical to fmod-then-fixup.
-    particles.x[i] = wrap_periodic(particles.x[i] + dt * ey / b0, nx);
-    particles.y[i] = wrap_periodic(particles.y[i] - dt * ex / b0, ny);
-    particles.zeta[i] =
-        wrap_periodic(particles.zeta[i] + dt * particles.vpar[i], two_pi);
-  }
+  });
 
   perf::LoopRecord rec;
   rec.vectorizable = true;  // after the paper's modulo -> mod fix (§6.1)

@@ -3,6 +3,7 @@
 #include <array>
 
 #include "perf/recorder.hpp"
+#include "simrt/parallel.hpp"
 
 namespace vpar::lbmhd {
 
@@ -172,10 +173,14 @@ double collision_bytes_per_point() {
 void collide_flat(FieldSet& fields, const CollisionParams& params) {
   auto p = plane_pointers(fields);
   const std::size_t nxl = fields.nxl(), nyl = fields.nyl();
-  for (std::size_t j = 0; j < nyl; ++j) {
-    const std::size_t row = fields.at(static_cast<std::ptrdiff_t>(j), 0);
-    collide_span(p, row, nxl, params.omega_f, params.omega_g);
-  }
+  // Rows write disjoint spans of every population plane, so splitting the j
+  // sweep across idle pool workers is bitwise-safe (see simrt/parallel.hpp).
+  simrt::parallel_for(0, nyl, 0, [&](std::size_t j0, std::size_t j1) {
+    for (std::size_t j = j0; j < j1; ++j) {
+      const std::size_t row = fields.at(static_cast<std::ptrdiff_t>(j), 0);
+      collide_span(p, row, nxl, params.omega_f, params.omega_g);
+    }
+  });
   perf::LoopRecord rec;
   rec.vectorizable = true;
   rec.instances = static_cast<double>(nyl);
@@ -193,10 +198,12 @@ void collide_blocked(FieldSet& fields, const CollisionParams& params,
   if (block == 0) block = nxl;
   for (std::size_t i0 = 0; i0 < nxl; i0 += block) {
     const std::size_t i1 = std::min(i0 + block, nxl);
-    for (std::size_t j = 0; j < nyl; ++j) {
-      const std::size_t row = fields.at(static_cast<std::ptrdiff_t>(j), 0);
-      collide_span(p, row + i0, i1 - i0, params.omega_f, params.omega_g);
-    }
+    simrt::parallel_for(0, nyl, 0, [&](std::size_t j0, std::size_t j1) {
+      for (std::size_t j = j0; j < j1; ++j) {
+        const std::size_t row = fields.at(static_cast<std::ptrdiff_t>(j), 0);
+        collide_span(p, row + i0, i1 - i0, params.omega_f, params.omega_g);
+      }
+    });
   }
   perf::LoopRecord rec;
   rec.vectorizable = true;

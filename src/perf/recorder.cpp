@@ -39,6 +39,10 @@ void record_loop(std::string_view region, const LoopRecord& rec) {
   if (t_recorder != nullptr) t_recorder->kernels().record(region, rec);
 }
 
+void record_helper_chunk() {
+  if (t_recorder != nullptr) t_recorder->record_helper_chunk();
+}
+
 void record_payload(PayloadEvent event) {
   if (t_recorder == nullptr) return;
   switch (event) {

@@ -18,19 +18,30 @@ class Recorder {
   [[nodiscard]] const KernelProfile& kernels() const { return kernels_; }
   [[nodiscard]] const CommProfile& comm() const { return comm_; }
 
+  /// Hybrid-threading accounting: loop chunks a rank's parallel_for handed to
+  /// idle pool workers. Helpers record into scratch recorders which the
+  /// runtime merges back into the owning rank's recorder (in ascending helper
+  /// order), so per-rank attribution is preserved; this counter makes the
+  /// helper traffic itself observable.
+  void record_helper_chunk(double n = 1.0) { helper_chunks_ += n; }
+  [[nodiscard]] double helper_chunks() const { return helper_chunks_; }
+
   void merge(const Recorder& other) {
     kernels_.merge(other.kernels_);
     comm_.merge(other.comm_);
+    helper_chunks_ += other.helper_chunks_;
   }
 
   void clear() {
     kernels_.clear();
     comm_.clear();
+    helper_chunks_ = 0.0;
   }
 
  private:
   KernelProfile kernels_;
   CommProfile comm_;
+  double helper_chunks_ = 0.0;
 };
 
 /// Currently installed recorder for this thread, or nullptr.
@@ -51,6 +62,11 @@ class ScopedRecorder {
 
 /// Report an executed loop nest (no-op without an installed recorder).
 void record_loop(std::string_view region, const LoopRecord& rec);
+
+/// Report one loop chunk executed on behalf of another rank by an idle pool
+/// worker (no-op without an installed recorder). Called by the simrt hybrid
+/// loop layer on the helper's scratch recorder.
+void record_helper_chunk();
 
 /// How a message payload buffer was obtained (see CommProfile payload
 /// accounting).

@@ -116,7 +116,7 @@ struct RunOptions {
 
 /// What a rank is blocked on (if anything). Written by the owning rank only;
 /// sampled concurrently by the watchdog, hence the per-field atomics.
-enum class BlockKind : int { None = 0, Recv, RequestWait, Barrier };
+enum class BlockKind : int { None = 0, Recv, RequestWait, Barrier, LoopWait };
 
 struct RankStatus {
   std::atomic<int> blocked{0};  // BlockKind

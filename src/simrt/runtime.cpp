@@ -1,17 +1,78 @@
 #include "simrt/runtime.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
+#include <map>
 #include <stdexcept>
 #include <string>
 
 namespace vpar::simrt {
+
+/// Chunk server + completion latch of one parallel_for. The owner registers
+/// it in Executor::loop_tasks_, everyone (owner + idle helpers) claims
+/// grain-aligned chunks under `m`, and the owner latches on `cv` until
+/// in_flight helpers have drained. Lock order is Executor::mutex_ -> m,
+/// never the reverse.
+struct LoopTask {
+  std::mutex m;
+  std::condition_variable cv;         // owner's completion latch
+  std::size_t next = 0;               // first unclaimed iteration
+  std::size_t end = 0;
+  std::size_t grain = 1;
+  int in_flight = 0;                  // helpers currently inside the body
+  std::exception_ptr error;           // first chunk failure (wins)
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  std::map<int, perf::Recorder> partials;  // helper pool rank -> records
+};
 
 namespace {
 
 /// True on threads that are executor workers: a nested run() from inside a
 /// job must not try to borrow the pool it is running on.
 thread_local bool t_in_worker = false;
+
+/// Loop-service context of the rank body executing on this worker thread:
+/// set around the body in worker_loop so parallel_for can find the job's
+/// control block and the owning rank. Null on helpers, on run_spawned
+/// threads, and outside the runtime — parallel_for degrades to serial there.
+thread_local RuntimeState* t_loop_state = nullptr;
+thread_local int t_loop_rank = -1;
+
+/// True while this thread executes a parallel_for body chunk (owner or
+/// helper): a nested parallel_for inside a chunk must run serial rather than
+/// re-enter the chunk server.
+thread_local bool t_in_loop_chunk = false;
+
+HybridMode env_hybrid_mode() {
+  const char* s = std::getenv("VPAR_HYBRID");
+  if (s == nullptr) return HybridMode::Auto;
+  const std::string v(s);
+  if (v == "on" || v == "1") return HybridMode::On;
+  if (v == "off" || v == "0") return HybridMode::Off;
+  return HybridMode::Auto;
+}
+
+/// Process-wide hybrid engagement policy (see simrt/parallel.hpp); the
+/// VPAR_HYBRID environment variable seeds it, set_hybrid_threading overrides.
+/// Relaxed atomic: policy flips are test/bench-scoped, not synchronization
+/// points.
+std::atomic<HybridMode> g_hybrid_mode{env_hybrid_mode()};
+
+/// Should a parallel_for issued by a rank of a `job_size`-rank job try to
+/// engage idle helpers? (The idle-helper count is checked separately.)
+bool hybrid_policy_engages(int job_size) {
+  switch (g_hybrid_mode.load(std::memory_order_relaxed)) {
+    case HybridMode::On: return true;
+    case HybridMode::Off: return false;
+    case HybridMode::Auto:
+      // Helpers only pay off when the host has spare cores beyond the
+      // active ranks; otherwise they just contend with the team.
+      return std::thread::hardware_concurrency() >
+             static_cast<unsigned>(job_size);
+  }
+  return false;
+}
 
 std::uint64_t now_ns() {
   return static_cast<std::uint64_t>(
@@ -239,6 +300,7 @@ Executor::~Executor() {
     shutdown_ = true;
   }
   cv_job_.notify_all();
+  cv_loop_.notify_all();
   for (auto& t : workers_) t.join();
 }
 
@@ -271,23 +333,163 @@ void Executor::worker_loop(int rank, std::uint64_t seen) {
       state = job_state_;
       size = job_size_;
     }
-    if (rank >= size) continue;  // this job is smaller than the pool
+    if (rank >= size) {
+      // This job is smaller than the pool: serve active ranks' parallel_for
+      // chunks until the next job instead of sleeping through it.
+      help_loops(rank, seen);
+      continue;
+    }
 
     {
       perf::ScopedRecorder scoped(state->recorders[static_cast<std::size_t>(rank)]);
       Communicator comm(*state, rank);
+      t_loop_state = state;
+      t_loop_rank = rank;
       try {
         (*body)(comm);
       } catch (...) {
         record_rank_failure(*state, rank, std::current_exception(), mutex_,
                             first_error_);
       }
+      t_loop_state = nullptr;
+      t_loop_rank = -1;
     }
     state->control.finish(rank);
     {
       std::lock_guard lock(mutex_);
       if (--remaining_ == 0) cv_done_.notify_all();
     }
+  }
+}
+
+namespace {
+
+/// Claim and run chunks of `task` until none remain, recording into a
+/// scratch recorder the owner later merges (helper side). Returns with
+/// in_flight already decremented and the latch notified.
+void serve_task(LoopTask& task) {
+  perf::Recorder scratch;
+  double chunks = 0.0;
+  {
+    perf::ScopedRecorder scoped(scratch);
+    t_in_loop_chunk = true;
+    for (;;) {
+      std::size_t lo, hi;
+      {
+        std::lock_guard g(task.m);
+        if (task.error != nullptr || task.next >= task.end) break;
+        lo = task.next;
+        hi = std::min(task.next + task.grain, task.end);
+        task.next = hi;
+      }
+      try {
+        (*task.body)(lo, hi);
+        chunks += 1.0;
+      } catch (...) {
+        std::lock_guard g(task.m);
+        if (task.error == nullptr) task.error = std::current_exception();
+        task.next = task.end;  // short-circuit the remaining chunks
+        break;
+      }
+    }
+    t_in_loop_chunk = false;
+  }
+  scratch.record_helper_chunk(chunks);
+  std::lock_guard g(task.m);
+  // Merge even the records of a failed loop into the partial map; the owner
+  // discards partials wholesale on error, so nothing leaks into profiles.
+  task.partials[t_loop_rank < 0 ? -1 : t_loop_rank].merge(scratch);
+  --task.in_flight;
+  task.cv.notify_all();
+}
+
+}  // namespace
+
+void Executor::help_loops(int helper, std::uint64_t seen) {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    LoopTask* task = nullptr;
+    cv_loop_.wait(lock, [&] {
+      if (shutdown_ || generation_ != seen) return true;
+      for (LoopTask* t : loop_tasks_) {
+        std::lock_guard g(t->m);
+        if (t->error == nullptr && t->next < t->end) {
+          ++t->in_flight;  // join before releasing mutex_: the owner's latch
+          task = t;        // now waits for us even if all chunks drain first
+          return true;
+        }
+      }
+      return false;
+    });
+    if (task == nullptr) return;  // new job or shutdown: rejoin the job loop
+    lock.unlock();
+    t_loop_rank = helper;
+    serve_task(*task);
+    t_loop_rank = -1;
+    lock.lock();
+  }
+}
+
+int Executor::idle_helpers(int job_size) {
+  std::lock_guard lock(mutex_);
+  return std::max(0, static_cast<int>(workers_.size()) - job_size);
+}
+
+void Executor::loop_parallel(RuntimeState& state, int rank, LoopTask& task) {
+  {
+    std::lock_guard lock(mutex_);
+    loop_tasks_.push_back(&task);
+  }
+  cv_loop_.notify_all();
+
+  // The owner serves chunks too — it is never idle while helpers work.
+  t_in_loop_chunk = true;
+  for (;;) {
+    std::size_t lo, hi;
+    {
+      std::lock_guard g(task.m);
+      if (task.error != nullptr || task.next >= task.end) break;
+      lo = task.next;
+      hi = std::min(task.next + task.grain, task.end);
+      task.next = hi;
+    }
+    try {
+      (*task.body)(lo, hi);
+    } catch (...) {
+      std::lock_guard g(task.m);
+      if (task.error == nullptr) task.error = std::current_exception();
+      task.next = task.end;
+      break;
+    }
+  }
+  t_in_loop_chunk = false;
+
+  // Completion latch: every chunk is claimed (permanent once true), so wait
+  // for the helpers still inside the body. Never abandoned early — the body
+  // and its captures live on this stack frame — but registered with the
+  // deadlock watchdog so a stuck helper chunk is diagnosed, not silent.
+  {
+    std::unique_lock g(task.m);
+    if (task.in_flight != 0) {
+      BlockGuard guard;
+      guard.engage(state.control, rank, BlockKind::LoopWait, "parallel_for",
+                   -1, -1);
+      task.cv.wait(g, [&] { return task.in_flight == 0; });
+    }
+  }
+  {
+    std::lock_guard lock(mutex_);
+    std::erase(loop_tasks_, &task);
+  }
+
+  if (task.error != nullptr) std::rethrow_exception(task.error);
+  if (state.control.aborted()) state.control.throw_aborted();
+
+  // Helper attribution: fold the helpers' scratch records back into the
+  // owning rank's recorder, in ascending helper order so profiles are
+  // independent of scheduling.
+  if (perf::Recorder* rec = perf::current_recorder()) {
+    for (const auto& [helper, partial] : task.partials) rec->merge(partial);
   }
 }
 
@@ -355,6 +557,7 @@ RunResult Executor::run(const RunOptions& options_in,
     ++generation_;
   }
   cv_job_.notify_all();
+  cv_loop_.notify_all();  // parked helpers re-check the generation too
   {
     std::unique_lock lock(mutex_);
     wait_for_job(lock);
@@ -381,6 +584,69 @@ RunResult run(int size, const std::function<void(Communicator&)>& body) {
   RunOptions options;
   options.size = size;
   return run(options, body);
+}
+
+void set_hybrid_threading(HybridMode mode) {
+  g_hybrid_mode.store(mode, std::memory_order_relaxed);
+}
+
+HybridMode hybrid_threading() {
+  return g_hybrid_mode.load(std::memory_order_relaxed);
+}
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t range = end - begin;
+
+  // Engage helpers only from a rank body on a pooled worker, outside any
+  // enclosing chunk, when the policy says yes and idle workers exist.
+  int idle = 0;
+  RuntimeState* state = t_loop_state;
+  if (state != nullptr && !t_in_loop_chunk &&
+      hybrid_policy_engages(state->size)) {
+    idle = Executor::shared().idle_helpers(state->size);
+  }
+
+  if (grain == 0) {
+    // Auto grain: ~4 chunks per participant, so late joiners still find
+    // work without shrinking chunks into scheduling noise. With no helpers
+    // there is exactly one participant and nothing to balance — one full
+    // chunk, so the serial path keeps the original loop structure (batched
+    // kernels like the simultaneous FFT live or die by the inner trip
+    // count; splitting them 4-ways costs ~2x for nothing).
+    const std::size_t ways = static_cast<std::size_t>(idle + 1) * 4;
+    grain = idle == 0 ? range : std::max<std::size_t>(1, (range + ways - 1) / ways);
+  }
+
+  if (idle == 0 || grain >= range) {
+    // Serial degrade: identical chunk boundaries, no task registration.
+    struct ChunkScope {  // exception-safe restore of the nesting flag
+      bool outer = !t_in_loop_chunk;
+      ChunkScope() { t_in_loop_chunk = true; }
+      ~ChunkScope() { if (outer) t_in_loop_chunk = false; }
+    } scope;
+    for (std::size_t lo = begin; lo < end; lo += grain) {
+      body(lo, std::min(lo + grain, end));
+    }
+    return;
+  }
+
+  LoopTask task;
+  task.next = begin;
+  task.end = end;
+  task.grain = grain;
+  task.body = &body;
+  Executor::shared().loop_parallel(*state, t_loop_rank, task);
+}
+
+int parallel_width() {
+  RuntimeState* state = t_loop_state;
+  if (state == nullptr || t_in_loop_chunk ||
+      !hybrid_policy_engages(state->size)) {
+    return 1;
+  }
+  return 1 + Executor::shared().idle_helpers(state->size);
 }
 
 RunResult run(const RunOptions& options,

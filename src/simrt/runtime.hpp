@@ -13,8 +13,14 @@
 #include "perf/recorder.hpp"
 #include "simrt/communicator.hpp"
 #include "simrt/fault.hpp"
+#include "simrt/parallel.hpp"
 
 namespace vpar::simrt {
+
+/// One in-flight parallel_for: the chunk server (owner + helpers claim
+/// grain-sized chunks) and the completion latch. Defined in runtime.cpp;
+/// lives on the owning rank's stack for the duration of the loop.
+struct LoopTask;
 
 /// Result of one simulated parallel job: instrumentation merged across ranks
 /// plus the per-rank profiles (needed for load-imbalance analysis).
@@ -73,11 +79,27 @@ class Executor {
   static Executor& shared();
 
  private:
+  friend void parallel_for(std::size_t, std::size_t, std::size_t,
+                           const std::function<void(std::size_t, std::size_t)>&);
+  friend int parallel_width();
+
   void worker_loop(int rank, std::uint64_t seen);
 
   /// Caller-thread wait for job completion; when the job's watchdog is
   /// armed, doubles as the deadlock scanner (no extra thread).
   void wait_for_job(std::unique_lock<std::mutex>& lock);
+
+  /// Idle-worker side of the hybrid loop layer: a worker whose rank is
+  /// beyond the current job's size parks here and steals parallel_for
+  /// chunks from active ranks until the next job (or shutdown).
+  void help_loops(int helper, std::uint64_t seen);
+
+  /// Owner side: register `task`, serve chunks alongside any helpers, then
+  /// latch until every helper has left the body (watchdog-registered).
+  void loop_parallel(RuntimeState& state, int rank, LoopTask& task);
+
+  /// Pool workers idle for a job of `job_size` ranks (under mutex_).
+  [[nodiscard]] int idle_helpers(int job_size);
 
   std::mutex run_mutex_;  // serializes whole run() invocations
 
@@ -92,6 +114,9 @@ class Executor {
   RuntimeState* job_state_ = nullptr;
   int remaining_ = 0;
   std::exception_ptr first_error_;
+
+  std::condition_variable cv_loop_;     // wakes idle helpers for loop chunks
+  std::vector<LoopTask*> loop_tasks_;   // in-flight parallel_for tasks
 
   std::unique_ptr<RuntimeState> state_;  // recycled across same-size jobs
 };

@@ -91,7 +91,8 @@ TEST_P(DepositVariants, MatchesScatterReference) {
 INSTANTIATE_TEST_SUITE_P(AllVariants, DepositVariants,
                          ::testing::Values(DepositVariant::Scatter,
                                            DepositVariant::WorkVector,
-                                           DepositVariant::Sorted));
+                                           DepositVariant::Sorted,
+                                           DepositVariant::Hybrid));
 
 TEST(Deposit, WorkVectorIsVectorizableScatterIsNot) {
   simrt::run(1, [](simrt::Communicator& comm) {
@@ -348,11 +349,15 @@ TEST(Workload, HybridSharesWorkAcrossThreads) {
   hybrid.openmp_threads = 16;
   const auto a = make_profile(mpi);
   const auto b = make_profile(hybrid);
-  // Same baseline, same total work; per-CPU share shrinks by threads*eff.
+  // Same baseline, same per-rank loop work in the profile; the hybrid split
+  // is carried as the threads-per-rank dimension the machine model divides
+  // compute by (threads * efficiency), not baked into the records.
   EXPECT_DOUBLE_EQ(a.baseline_flops, b.baseline_flops);
-  EXPECT_NEAR(b.kernels.total_flops() / a.kernels.total_flops(),
-              1.0 / (16.0 * 0.5), 1e-9);
+  EXPECT_NEAR(b.kernels.total_flops() / a.kernels.total_flops(), 1.0, 1e-9);
   EXPECT_EQ(b.procs, 1024);
+  EXPECT_EQ(a.threads_per_rank, 1);
+  EXPECT_EQ(b.threads_per_rank, 16);
+  EXPECT_DOUBLE_EQ(b.thread_efficiency, 0.5);
 }
 
 TEST(Workload, MpiConcurrencyCappedAtPlaneCount) {
