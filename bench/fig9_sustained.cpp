@@ -60,5 +60,6 @@ int main() {
     }
     std::cout << '\n';
   }
+  dump_metrics_csv();
   return 0;
 }

@@ -1,10 +1,13 @@
 #pragma once
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "cells.hpp"
 #include "core/table.hpp"
+#include "trace/metrics.hpp"
 
 namespace vpar::bench {
 
@@ -25,6 +28,17 @@ inline void print_header(const std::string& title) {
   std::cout << "\n== " << title << " ==\n"
             << "model: Gflops/P (% of peak); [paper]: measured Gflops/P from "
                "the original study\n\n";
+}
+
+/// Dump the process-wide metrics registry as CSV when VPAR_METRICS_CSV names
+/// a file. Every table bench calls this on exit, so a bench run can leave an
+/// importable record of its runtime activity (message counts, payload tiers,
+/// fault totals) next to its table output. No-op when the variable is unset.
+inline void dump_metrics_csv() {
+  const char* path = std::getenv("VPAR_METRICS_CSV");
+  if (path == nullptr || *path == '\0') return;
+  std::ofstream out(path);
+  if (out) trace::Metrics::instance().snapshot().write_csv(out);
 }
 
 }  // namespace vpar::bench

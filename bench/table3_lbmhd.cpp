@@ -45,5 +45,6 @@ int main() {
                  core::fmt_pct(cell.prediction.vor)});
   }
   vec.print(std::cout);
+  dump_metrics_csv();
   return 0;
 }

@@ -54,5 +54,6 @@ int main() {
                 core::fmt_pct(share)});
   }
   bc.print(std::cout);
+  dump_metrics_csv();
   return 0;
 }

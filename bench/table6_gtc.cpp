@@ -61,5 +61,6 @@ int main() {
                 core::fmt_pct(share)});
   }
   sh.print(std::cout);
+  dump_metrics_csv();
   return 0;
 }

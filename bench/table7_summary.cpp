@@ -105,5 +105,6 @@ int main() {
     table.add_row(std::move(cells));
   }
   table.print(std::cout);
+  dump_metrics_csv();
   return 0;
 }

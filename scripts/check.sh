@@ -18,10 +18,10 @@ echo "== ThreadSanitizer build (simrt runtime tests) =="
 cmake -B build-tsan -S . -DVPAR_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$JOBS" \
   --target test_simrt test_simrt_stress test_simrt_nonblocking test_simrt_executor \
-  test_simrt_faults test_simrt_hybrid
+  test_simrt_faults test_simrt_hybrid test_trace
 
 for t in test_simrt test_simrt_stress test_simrt_nonblocking test_simrt_executor \
-         test_simrt_faults test_simrt_hybrid; do
+         test_simrt_faults test_simrt_hybrid test_trace; do
   echo "-- TSan: $t"
   TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/$t"
 done

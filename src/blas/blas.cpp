@@ -6,6 +6,7 @@
 
 #include "perf/recorder.hpp"
 #include "simrt/parallel.hpp"
+#include "trace/trace.hpp"
 
 namespace vpar::blas {
 
@@ -179,6 +180,8 @@ void scal(Complex alpha, std::span<Complex> x) {
 void gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
           double alpha, const double* a, std::size_t lda, const double* b,
           std::size_t ldb, double beta, double* c, std::size_t ldc) {
+  trace::TraceSpan span("blas.gemm", static_cast<std::int64_t>(m * n),
+                        static_cast<std::int64_t>(k));
   gemm_impl(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
   record_gemm(static_cast<double>(m), static_cast<double>(n), static_cast<double>(k),
               2.0, sizeof(double));
@@ -187,6 +190,8 @@ void gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
 void gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
           Complex alpha, const Complex* a, std::size_t lda, const Complex* b,
           std::size_t ldb, Complex beta, Complex* c, std::size_t ldc) {
+  trace::TraceSpan span("blas.gemm", static_cast<std::int64_t>(m * n),
+                        static_cast<std::int64_t>(k));
   gemm_impl(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
   record_gemm(static_cast<double>(m), static_cast<double>(n), static_cast<double>(k),
               8.0, sizeof(Complex));

@@ -6,6 +6,7 @@
 #include "cactus/deriv.hpp"
 #include "perf/recorder.hpp"
 #include "simrt/parallel.hpp"
+#include "trace/trace.hpp"
 
 namespace vpar::cactus {
 
@@ -176,6 +177,8 @@ void compute_rhs(const GridFunctions& state, GridFunctions& rhs, double h,
                  std::size_t i0, std::size_t i1, std::size_t j0, std::size_t j1,
                  std::size_t k0, std::size_t k1, RhsVariant variant,
                  std::size_t block) {
+  trace::TraceSpan span("cactus.adm_rhs", static_cast<std::int64_t>(i1 - i0),
+                        static_cast<std::int64_t>(k1 - k0));
   const double inv_12h2 = 1.0 / (12.0 * h * h);
   const double inv_144h2 = 1.0 / (144.0 * h * h);
 

@@ -5,6 +5,7 @@
 
 #include "perf/recorder.hpp"
 #include "simrt/request.hpp"
+#include "trace/trace.hpp"
 
 namespace vpar::cactus {
 
@@ -93,6 +94,8 @@ int Decomp3D::neighbor(int axis, int dir) const {
 
 void exchange_ghosts(simrt::Communicator& comm, const Decomp3D& d,
                      GridFunctions& gf) {
+  trace::TraceSpan span("cactus.exchange3d", d.nl[0],
+                        static_cast<std::int64_t>(d.nl[1]) * d.nl[2]);
   // Sweep axes in order; earlier axes' ghosts are included in later sweeps'
   // face boxes so edge/corner data propagates.
   for (int axis = 0; axis < 3; ++axis) {

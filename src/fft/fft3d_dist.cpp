@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "perf/recorder.hpp"
+#include "trace/trace.hpp"
 
 namespace vpar::fft {
 
@@ -79,6 +80,8 @@ std::vector<Complex> DistFft3d::global_transpose_fwd(const Grid3& work) {
 
 std::vector<Complex> DistFft3d::forward(const Grid3& slab) {
   const std::size_t lnx = local_nx();
+  trace::TraceSpan span("fft.forward", static_cast<std::int64_t>(nx_),
+                        static_cast<std::int64_t>(ny_ * nz_));
   if (slab.nx != lnx || slab.ny != ny_ || slab.nz != nz_) {
     throw std::runtime_error("DistFft3d::forward: slab shape mismatch");
   }
@@ -93,6 +96,8 @@ std::vector<Complex> DistFft3d::forward(const Grid3& slab) {
 Grid3 DistFft3d::inverse(const std::vector<Complex>& transposed) {
   const std::size_t lnx = local_nx();
   const std::size_t lny = local_ny();
+  trace::TraceSpan span("fft.inverse", static_cast<std::int64_t>(nx_),
+                        static_cast<std::int64_t>(ny_ * nz_));
   if (transposed.size() != lny * nz_ * nx_) {
     throw std::runtime_error("DistFft3d::inverse: input size mismatch");
   }

@@ -6,6 +6,8 @@
 #include <random>
 #include <stdexcept>
 
+#include "trace/trace.hpp"
+
 namespace vpar::gtc {
 
 Simulation::Simulation(simrt::Communicator& comm, const Options& options)
@@ -58,6 +60,8 @@ void Simulation::fetch_ghost_efield() {
 }
 
 void Simulation::deposit_phase() {
+  trace::TraceSpan span("gtc.deposit",
+                        static_cast<std::int64_t>(particles_.size()));
   grid_.zero_charge();
   if (options_.threads > 1) {
     deposit_threaded(particles_, grid_, options_.threads);
@@ -68,16 +72,22 @@ void Simulation::deposit_phase() {
 }
 
 void Simulation::solve_phase() {
+  trace::TraceSpan span("gtc.solve",
+                        static_cast<std::int64_t>(grid_.plane_size()));
   solve_poisson(grid_);
   compute_efield(grid_);
   fetch_ghost_efield();
 }
 
 void Simulation::push_phase() {
+  trace::TraceSpan span("gtc.push",
+                        static_cast<std::int64_t>(particles_.size()));
   gather_push(particles_, grid_, ex_ghost_, ey_ghost_, options_.dt, options_.b0);
 }
 
 void Simulation::shift_phase() {
+  trace::TraceSpan span("gtc.shift",
+                        static_cast<std::int64_t>(particles_.size()));
   shift(*comm_, grid_, particles_, options_.shift);
 }
 

@@ -5,6 +5,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "trace/trace.hpp"
+
 namespace vpar::lbmhd {
 
 namespace {
@@ -66,6 +68,7 @@ void Simulation::initialize(const InitialCondition& ic) {
 }
 
 void Simulation::exchange() {
+  trace::TraceSpan span("lbmhd.exchange", decomp_.nxl, decomp_.nyl);
   if (options_.exchange == Options::Exchange::Caf) {
     const std::size_t block_elems = FieldSet::total_size(decomp_.nxl, decomp_.nyl);
     exchange_caf(*coarray_, decomp_, *current_,
@@ -77,13 +80,19 @@ void Simulation::exchange() {
 
 void Simulation::step() {
   CollisionParams params{1.0 / options_.tau_f, 1.0 / options_.tau_g};
-  if (options_.collision == Options::Collision::Blocked) {
-    collide_blocked(*current_, params, options_.block);
-  } else {
-    collide_flat(*current_, params);
+  {
+    trace::TraceSpan span("lbmhd.collision", decomp_.nxl, decomp_.nyl);
+    if (options_.collision == Options::Collision::Blocked) {
+      collide_blocked(*current_, params, options_.block);
+    } else {
+      collide_flat(*current_, params);
+    }
   }
   exchange();
-  stream(*current_, *next_);
+  {
+    trace::TraceSpan span("lbmhd.stream", decomp_.nxl, decomp_.nyl);
+    stream(*current_, *next_);
+  }
   std::swap(current_, next_);
   caf_half_current_ ^= 1;
 }

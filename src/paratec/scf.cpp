@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "fft/fft_multi.hpp"
+#include "trace/trace.hpp"
 
 namespace vpar::paratec {
 
@@ -189,6 +190,8 @@ Scf::Scf(Hamiltonian& hamiltonian, const Options& options)
 }
 
 double Scf::iterate() {
+  trace::TraceSpan span("paratec.scf_iter", options_.nbands,
+                        options_.cg_sweeps_per_scf);
   // Effective potential from the current density (ionic only on cycle 0).
   std::vector<double> veff = v_ion_;
   if (have_density_) {

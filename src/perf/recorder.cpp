@@ -1,5 +1,7 @@
 #include "perf/recorder.hpp"
 
+#include "trace/metrics.hpp"
+
 namespace vpar::perf {
 
 namespace {
@@ -10,6 +12,27 @@ thread_local int t_suppress_depth = 0;
 bool overlappable(CommKind kind) {
   return kind == CommKind::PointToPoint || kind == CommKind::OneSided ||
          kind == CommKind::AllToAll;
+}
+
+/// Process-wide metric handles, resolved once. The per-rank CommProfile
+/// stays the modelling-facing record; these registry counters are the
+/// always-on observability view (alive even with no recorder installed).
+struct Meters {
+  trace::Counter& faults = trace::Metrics::instance().counter("simrt.faults_injected");
+  trace::Counter& checksums = trace::Metrics::instance().counter("simrt.checksum_failures");
+  trace::Counter& aborts = trace::Metrics::instance().counter("simrt.aborts_observed");
+  trace::Counter& helper_chunks = trace::Metrics::instance().counter("simrt.helper_chunks");
+  trace::Counter& payload_allocs = trace::Metrics::instance().counter("arena.payload_allocs");
+  trace::Counter& payload_recycles = trace::Metrics::instance().counter("arena.payload_recycles");
+  trace::Counter& payload_inlines = trace::Metrics::instance().counter("arena.payload_inlines");
+  trace::Counter& comm_messages = trace::Metrics::instance().counter("comm.messages");
+  trace::Counter& comm_bytes = trace::Metrics::instance().counter("comm.bytes");
+  trace::Histogram& comm_bytes_per_op = trace::Metrics::instance().histogram("comm.bytes_per_op");
+};
+
+Meters& meters() {
+  static Meters* m = new Meters();  // leaked with the registry it points into
+  return *m;
 }
 }  // namespace
 
@@ -39,11 +62,16 @@ void record_loop(std::string_view region, const LoopRecord& rec) {
   if (t_recorder != nullptr) t_recorder->kernels().record(region, rec);
 }
 
-void record_helper_chunk() {
-  if (t_recorder != nullptr) t_recorder->record_helper_chunk();
+void record_helper_chunks(double n) {
+  if (n > 0.0) meters().helper_chunks.add(static_cast<std::uint64_t>(n));
 }
 
 void record_payload(PayloadEvent event) {
+  switch (event) {
+    case PayloadEvent::Alloc: meters().payload_allocs.add(1); break;
+    case PayloadEvent::Recycle: meters().payload_recycles.add(1); break;
+    case PayloadEvent::Inline: meters().payload_inlines.add(1); break;
+  }
   if (t_recorder == nullptr) return;
   switch (event) {
     case PayloadEvent::Alloc: t_recorder->comm().record_payload_alloc(); break;
@@ -53,19 +81,26 @@ void record_payload(PayloadEvent event) {
 }
 
 void record_fault_injected() {
+  meters().faults.add(1);
   if (t_recorder != nullptr) t_recorder->comm().record_fault_injected();
 }
 
 void record_checksum_failure() {
+  meters().checksums.add(1);
   if (t_recorder != nullptr) t_recorder->comm().record_checksum_failure();
 }
 
 void record_abort_observed() {
+  meters().aborts.add(1);
   if (t_recorder != nullptr) t_recorder->comm().record_abort_observed();
 }
 
 void record_comm(CommKind kind, double messages, double bytes) {
-  if (t_recorder == nullptr || t_suppress_depth > 0) return;
+  if (t_suppress_depth > 0) return;
+  meters().comm_messages.add(static_cast<std::uint64_t>(messages));
+  meters().comm_bytes.add(static_cast<std::uint64_t>(bytes));
+  meters().comm_bytes_per_op.record(static_cast<std::uint64_t>(bytes));
+  if (t_recorder == nullptr) return;
   if (t_overlap_depth > 0 && overlappable(kind)) {
     t_recorder->comm().record_overlapped(kind, messages, bytes);
   } else {

@@ -63,10 +63,11 @@ class ScopedRecorder {
 /// Report an executed loop nest (no-op without an installed recorder).
 void record_loop(std::string_view region, const LoopRecord& rec);
 
-/// Report one loop chunk executed on behalf of another rank by an idle pool
-/// worker (no-op without an installed recorder). Called by the simrt hybrid
-/// loop layer on the helper's scratch recorder.
-void record_helper_chunk();
+/// Report `n` loop chunks executed on behalf of other ranks by idle pool
+/// workers. Bumps the process-wide simrt.helper_chunks metric; the per-rank
+/// Recorder attribution happens separately (helpers record into scratch
+/// recorders that are merged into the owning rank's).
+void record_helper_chunks(double n);
 
 /// How a message payload buffer was obtained (see CommProfile payload
 /// accounting).

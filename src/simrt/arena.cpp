@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "simrt/fault.hpp"
+
 namespace vpar::simrt {
 
 namespace {
@@ -64,6 +66,7 @@ BufferArena& BufferArena::instance() {
 }
 
 ArenaBlock BufferArena::acquire(std::size_t bytes, bool* recycled) {
+  maybe_inject_alloc_failure(bytes);  // seeded chaos: memory exhaustion
   ArenaBlock block;
   if (bytes > kMaxClassBytes) {
     block.data = new std::byte[bytes];

@@ -1,5 +1,7 @@
 #include "simrt/communicator.hpp"
 
+#include "trace/trace.hpp"
+
 namespace vpar::simrt {
 
 void Communicator::raw_send(int dest, Payload payload, int tag) {
@@ -14,6 +16,11 @@ void Communicator::raw_send(int dest, Payload payload, int tag) {
   }
   if (injector_.enabled()) {
     injector_.apply_send_faults(payload.mutable_bytes(), tag, msg.reorder);
+    if (injector_.should_drop(tag)) return;  // lost in transit, never delivered
+  }
+  if (trace::enabled()) {
+    msg.trace_id = trace::next_flow_id();
+    trace::emit_flow_begin("msg", msg.trace_id);
   }
   msg.payload = std::move(payload);
   state_->mailboxes[static_cast<std::size_t>(dest)].deliver(std::move(msg));
@@ -26,6 +33,7 @@ Message Communicator::raw_receive(int source, int tag, const char* what) {
 
 void Communicator::send_bytes(int dest, std::span<const std::byte> data, int tag) {
   check_dest_tag(dest, tag);
+  trace::TraceSpan span("comm.send", dest, static_cast<std::int64_t>(data.size()));
   begin_op("send");
   raw_send(dest, Payload::copy_of(data), tag);
   perf::record_comm(perf::CommKind::PointToPoint, 1.0, static_cast<double>(data.size()));
@@ -40,6 +48,7 @@ Request Communicator::isend_bytes(int dest, std::span<const std::byte> data, int
 
 Request Communicator::irecv_bytes(int source, std::span<std::byte> data, int tag) {
   if (tag < kAnyTag) throw std::runtime_error("recv: bad tag");
+  trace::TraceSpan span("comm.irecv", source, static_cast<std::int64_t>(data.size()));
   begin_op("irecv");
   return Request(
       state_->mailboxes[static_cast<std::size_t>(rank_)].post_recv(source, tag, data));
@@ -51,12 +60,14 @@ void Communicator::recv_bytes(int source, std::span<std::byte> data, int tag) {
 
 Message Communicator::recv_message(int source, int tag) {
   if (tag < kAnyTag) throw std::runtime_error("recv: bad tag");
+  trace::TraceSpan span("comm.recv", source, tag);
   begin_op("recv");
   return raw_receive(source, tag);
 }
 
 void Communicator::barrier() {
   const int P = size();
+  trace::TraceSpan span("comm.barrier", P);
   begin_op("barrier");
   if (P <= kBarrierRendezvousMax) {
     // Small teams: the centralized rendezvous is one shared cacheline and a

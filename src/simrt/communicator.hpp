@@ -16,6 +16,7 @@
 #include "simrt/mailbox.hpp"
 #include "simrt/rendezvous.hpp"
 #include "simrt/request.hpp"
+#include "trace/trace.hpp"
 
 namespace vpar::simrt {
 
@@ -90,8 +91,18 @@ struct RuntimeState {
 /// perf::OverlapScope is recorded as overlapped (see perf/comm_profile.hpp).
 class Communicator {
  public:
+  /// Binding a communicator also installs its injector as the calling
+  /// thread's ambient injector (restored on destruction), so fault decisions
+  /// made below the communicator — arena allocation failures — are drawn
+  /// from this rank's seeded stream.
   Communicator(RuntimeState& state, int rank)
-      : state_(&state), rank_(rank), injector_(state.control.fault(), rank) {}
+      : state_(&state),
+        rank_(rank),
+        injector_(state.control.fault(), rank),
+        prev_injector_(exchange_thread_injector(&injector_)) {}
+  ~Communicator() { exchange_thread_injector(prev_injector_); }
+  Communicator(const Communicator&) = delete;
+  Communicator& operator=(const Communicator&) = delete;
 
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int size() const { return state_->size; }
@@ -135,6 +146,8 @@ class Communicator {
   template <typename T>
   [[nodiscard]] Request isend(int dest, std::vector<T>&& data, int tag) {
     check_dest_tag(dest, tag);
+    trace::TraceSpan span("comm.isend", dest,
+                          static_cast<std::int64_t>(data.size() * sizeof(T)));
     begin_op("isend");
     const double bytes = static_cast<double>(data.size() * sizeof(T));
     raw_send(dest, Payload::adopt(std::move(data)), tag);
@@ -176,6 +189,8 @@ class Communicator {
   void allreduce_inplace(std::span<T> values, ReduceOp op) {
     const int P = size();
     const std::size_t n = values.size();
+    trace::TraceSpan span("comm.allreduce", P,
+                          static_cast<std::int64_t>(n * sizeof(T)));
     begin_op("allreduce");
     if (P > 1) {
       perf::CommRecordSuppressor mute;
@@ -239,6 +254,8 @@ class Communicator {
   void broadcast(std::span<T> values, int root) {
     const int P = size();
     check_root(root);
+    trace::TraceSpan span("comm.broadcast", root,
+                          static_cast<std::int64_t>(values.size() * sizeof(T)));
     begin_op("broadcast");
     {
       perf::CommRecordSuppressor mute;
@@ -275,6 +292,8 @@ class Communicator {
   void gather(std::span<const T> contribution, std::span<T> out, int root) {
     const int P = size();
     check_root(root);
+    trace::TraceSpan span("comm.gather", root,
+                          static_cast<std::int64_t>(contribution.size() * sizeof(T)));
     begin_op("gather");
     {
       perf::CommRecordSuppressor mute;
@@ -365,6 +384,7 @@ class Communicator {
     if (static_cast<int>(outboxes.size()) != P) {
       throw std::runtime_error("alltoallv: need one outbox per rank");
     }
+    trace::TraceSpan span("comm.alltoallv", P);
     begin_op("alltoallv");
     perf::OverlapScope window;
     std::vector<std::vector<T>> inboxes(static_cast<std::size_t>(P));
@@ -398,6 +418,7 @@ class Communicator {
   template <typename T, typename PackFn, typename UnpackFn>
   void alltoallv_pipelined(PackFn&& pack, UnpackFn&& unpack) {
     const int P = size();
+    trace::TraceSpan span("comm.alltoallv_pipelined", P);
     begin_op("alltoallv");
     perf::OverlapScope window;
     double bytes = 0.0;
@@ -512,6 +533,7 @@ class Communicator {
   RuntimeState* state_;
   int rank_;
   FaultInjector injector_;
+  FaultInjector* prev_injector_ = nullptr;
   std::uint64_t calls_ = 0;
 };
 

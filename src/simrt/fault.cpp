@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "perf/recorder.hpp"
+#include "trace/trace.hpp"
 
 namespace vpar::simrt {
 
@@ -74,6 +75,7 @@ void JobControl::abort(const std::string& reason) {
     waker = waker_;
   }
   aborted_.store(true, std::memory_order_release);
+  trace::emit_instant("abort");
   if (waker) waker();
 }
 
@@ -131,10 +133,12 @@ void FaultInjector::on_call(std::uint64_t call) {
   if (!enabled_) return;
   if (straggler_ && plan_->straggle_us > 0) {
     perf::record_fault_injected();
+    trace::emit_instant("fault.straggle", plan_->straggle_us);
     std::this_thread::sleep_for(std::chrono::microseconds(plan_->straggle_us));
   }
   if (rank_ == plan_->fail_rank && call == plan_->fail_at_call) {
     perf::record_fault_injected();
+    trace::emit_instant("fault.kill", static_cast<std::int64_t>(call));
     throw InjectedFault("injected rank failure at comm call #" +
                         std::to_string(call));
   }
@@ -148,19 +152,57 @@ void FaultInjector::apply_send_faults(std::span<std::byte> payload, int tag,
       u01(draw(*plan_, rank_, s, 1)) < plan_->delay_prob) {
     const auto us = 1 + draw(*plan_, rank_, s, 2) % plan_->delay_max_us;
     perf::record_fault_injected();
+    trace::emit_instant("fault.delay", static_cast<std::int64_t>(us), tag);
     std::this_thread::sleep_for(std::chrono::microseconds(us));
   }
   if (plan_->reorder_prob > 0.0 &&
       u01(draw(*plan_, rank_, s, 3)) < plan_->reorder_prob) {
     reorder_slots = 1 + static_cast<int>(draw(*plan_, rank_, s, 4) % 4);
     perf::record_fault_injected();
+    trace::emit_instant("fault.reorder", reorder_slots, tag);
   }
   if (plan_->bitflip_prob > 0.0 && tag >= 0 && !payload.empty() &&
       u01(draw(*plan_, rank_, s, 5)) < plan_->bitflip_prob) {
     const std::uint64_t bit = draw(*plan_, rank_, s, 6) % (payload.size() * 8);
     payload[bit / 8] ^= std::byte{1} << (bit % 8);
     perf::record_fault_injected();
+    trace::emit_instant("fault.bitflip", static_cast<std::int64_t>(bit), tag);
   }
+}
+
+bool FaultInjector::should_drop(int tag) {
+  if (!enabled_ || tag < 0 || plan_->drop_prob <= 0.0) return false;
+  if (u01(draw(*plan_, rank_, sends_, 7)) >= plan_->drop_prob) return false;
+  perf::record_fault_injected();
+  trace::emit_instant("fault.drop", tag);
+  return true;
+}
+
+bool FaultInjector::should_fail_alloc() {
+  if (!enabled_ || plan_->alloc_fail_prob <= 0.0) return false;
+  const std::uint64_t a = ++allocs_;
+  return u01(draw(*plan_, rank_, a, 8)) < plan_->alloc_fail_prob;
+}
+
+namespace {
+// Ambient per-thread injector for fault decisions made below the
+// communicator (the arena has no job context of its own).
+thread_local FaultInjector* t_thread_injector = nullptr;
+}  // namespace
+
+FaultInjector* exchange_thread_injector(FaultInjector* injector) {
+  FaultInjector* prev = t_thread_injector;
+  t_thread_injector = injector;
+  return prev;
+}
+
+void maybe_inject_alloc_failure(std::size_t bytes) {
+  FaultInjector* inj = t_thread_injector;
+  if (inj == nullptr || !inj->should_fail_alloc()) return;
+  perf::record_fault_injected();
+  trace::emit_instant("fault.alloc_fail", static_cast<std::int64_t>(bytes));
+  throw InjectedFault("injected arena allocation failure (" +
+                      std::to_string(bytes) + " bytes)");
 }
 
 std::uint64_t fnv1a64(std::span<const std::byte> data) {

@@ -92,8 +92,21 @@ struct FaultPlan {
   /// protocol stays intact; detectable via RunOptions::checksums.
   double bitflip_prob = 0.0;
 
+  /// Per-send chance the message is silently dropped in transit (never
+  /// delivered). Only user messages (tag >= 0) are dropped so the runtime's
+  /// own collective protocol stays intact; the stuck receiver is what the
+  /// deadlock watchdog exists to catch.
+  double drop_prob = 0.0;
+
+  /// Per-acquire chance that an arena buffer allocation on this job's ranks
+  /// fails (throws InjectedFault), modelling memory exhaustion mid-run. The
+  /// decision is drawn by the rank's injector, so it is seeded and
+  /// replayable like every other fault.
+  double alloc_fail_prob = 0.0;
+
   [[nodiscard]] bool enabled() const {
     return delay_prob > 0.0 || reorder_prob > 0.0 || bitflip_prob > 0.0 ||
+           drop_prob > 0.0 || alloc_fail_prob > 0.0 ||
            (!straggler_ranks.empty() && straggle_us > 0) ||
            (fail_rank >= 0 && fail_at_call > 0);
   }
@@ -244,13 +257,33 @@ class FaultInjector {
   /// bit in place (user tags only).
   void apply_send_faults(std::span<std::byte> payload, int tag, int& reorder_slots);
 
+  /// Decide (after apply_send_faults, same per-send counter) whether this
+  /// outgoing message is lost in transit. User tags only.
+  [[nodiscard]] bool should_drop(int tag);
+
+  /// Decide whether the next arena acquisition on this rank fails. Separate
+  /// monotone counter, so drop/alloc decisions do not perturb each other.
+  [[nodiscard]] bool should_fail_alloc();
+
  private:
   const FaultPlan* plan_ = nullptr;
   int rank_ = 0;
   bool enabled_ = false;
   bool straggler_ = false;
   std::uint64_t sends_ = 0;
+  std::uint64_t allocs_ = 0;
 };
+
+/// Install `injector` as the calling thread's ambient injector and return
+/// the previous one. The Communicator binds its rank's injector for the
+/// duration of the rank body so that BufferArena::acquire — a process-wide
+/// singleton with no job context — can consult the per-job FaultPlan.
+FaultInjector* exchange_thread_injector(FaultInjector* injector);
+
+/// Allocation-failure injection point, called by BufferArena::acquire with
+/// the requested byte count. Throws InjectedFault when the calling thread's
+/// ambient injector draws an allocation failure; otherwise a no-op.
+void maybe_inject_alloc_failure(std::size_t bytes);
 
 /// FNV-1a 64-bit checksum over a byte span (the per-message checksum).
 [[nodiscard]] std::uint64_t fnv1a64(std::span<const std::byte> data);

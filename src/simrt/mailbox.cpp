@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "perf/recorder.hpp"
+#include "trace/trace.hpp"
 
 namespace vpar::simrt {
 
@@ -30,6 +31,10 @@ Payload Payload::copy_of(std::span<const std::byte> data) {
 }
 
 void Mailbox::complete_locked(RequestState& rs, const Message& msg) {
+  // The flow lands where the match happens — which for a posted receive is
+  // the *sender's* thread (handoff); the event's rank field still tells the
+  // reader which simulated rank was executing.
+  if (msg.trace_id != 0) trace::emit_flow_end("msg", msg.trace_id);
   if (msg.payload.size() != rs.dest.size()) {
     rs.error = "recv: payload size mismatch (got " +
                std::to_string(msg.payload.size()) + " bytes, posted " +
@@ -91,6 +96,7 @@ Message Mailbox::receive(int source, int tag, const char* what) {
     if (it != queue_.end()) {
       Message msg = std::move(*it);
       queue_.erase(it);
+      if (msg.trace_id != 0) trace::emit_flow_end("msg", msg.trace_id);
       if (msg.checksummed && fnv1a64(msg.payload.bytes()) != msg.checksum) {
         perf::record_checksum_failure();
         throw ChecksumError("recv: payload checksum mismatch (source " +

@@ -126,6 +126,10 @@ struct Message {
   std::uint64_t checksum = 0;
   bool checksummed = false;
   int reorder = 0;
+  /// Nonzero when tracing: flow id stamped by the sender (emit_flow_begin);
+  /// the receive-side match emits the paired FlowEnd, drawing a send→recv
+  /// arrow in the exported Chrome trace.
+  std::uint64_t trace_id = 0;
   Payload payload;
 };
 

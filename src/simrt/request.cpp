@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "perf/recorder.hpp"
+#include "trace/trace.hpp"
 
 namespace vpar::simrt {
 
@@ -29,6 +30,7 @@ void Request::cancel() noexcept {
 
 void Request::wait() {
   if (!state_) return;
+  trace::TraceSpan span("comm.wait", state_->want_source, state_->want_tag);
   JobControl* control = state_->control;
   std::unique_lock lock(state_->mutex);
   BlockGuard guard;

@@ -7,6 +7,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "trace/chrome_export.hpp"
+#include "trace/trace.hpp"
+
 namespace vpar::simrt {
 
 /// Chunk server + completion latch of one parallel_for. The owner registers
@@ -20,6 +23,7 @@ struct LoopTask {
   std::size_t next = 0;               // first unclaimed iteration
   std::size_t end = 0;
   std::size_t grain = 1;
+  int owner = -1;                     // issuing rank (trace attribution)
   int in_flight = 0;                  // helpers currently inside the body
   std::exception_ptr error;           // first chunk failure (wins)
   const std::function<void(std::size_t, std::size_t)>* body = nullptr;
@@ -225,6 +229,20 @@ void record_rank_failure(RuntimeState& state, int rank,
   if (primary) state.control.abort(reason);
 }
 
+/// Flight-recorder dump for a failed job: extract the failure reason and
+/// write the post-mortem trace + metrics snapshot. Callers are quiesced —
+/// every rank thread has been joined or parked before the rethrow.
+void postmortem_for(const std::exception_ptr& error) {
+  if (!trace::enabled()) return;
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    trace::write_postmortem(e.what());
+  } catch (...) {
+    trace::write_postmortem("non-standard exception");
+  }
+}
+
 /// Legacy spawn-per-run path, kept as the nested-run fallback; honours the
 /// same RunOptions (fault plan, checksums, watchdog) as the pooled path.
 RunResult run_spawned(const RunOptions& options,
@@ -243,6 +261,9 @@ RunResult run_spawned(const RunOptions& options,
   for (int rank = 0; rank < size; ++rank) {
     threads.emplace_back([&, rank] {
       {
+        trace::set_thread_label("rank", rank);
+        trace::set_thread_rank(rank);
+        trace::TraceSpan job_span("job", rank, size);
         perf::ScopedRecorder scoped(state.recorders[static_cast<std::size_t>(rank)]);
         Communicator comm(state, rank);
         try {
@@ -252,6 +273,7 @@ RunResult run_spawned(const RunOptions& options,
                               first_error);
         }
       }
+      trace::set_thread_rank(-1);
       state.control.finish(rank);
       {
         std::lock_guard lock(mutex);
@@ -270,8 +292,10 @@ RunResult run_spawned(const RunOptions& options,
       WatchdogMemory memory;
       while (remaining != 0) {
         if (cv_done.wait_for(lock, chunk, [&] { return remaining == 0; })) break;
+        trace::emit_instant("watchdog.scan");
         std::string report = deadlock_report(state, memory, timeout, 0);
         if (report.empty()) continue;
+        trace::emit_instant("watchdog.timeout");
         if (!first_error) {
           first_error = std::make_exception_ptr(WatchdogTimeout(report));
         }
@@ -284,7 +308,10 @@ RunResult run_spawned(const RunOptions& options,
     }
   }
   for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  if (first_error) {
+    postmortem_for(first_error);
+    std::rethrow_exception(first_error);
+  }
 
   RunResult result;
   result.per_rank = std::move(state.recorders);
@@ -320,6 +347,7 @@ Executor& Executor::shared() {
 
 void Executor::worker_loop(int rank, std::uint64_t seen) {
   t_in_worker = true;
+  trace::set_thread_label("worker", rank);
   for (;;) {
     const std::function<void(Communicator&)>* body = nullptr;
     RuntimeState* state = nullptr;
@@ -341,6 +369,8 @@ void Executor::worker_loop(int rank, std::uint64_t seen) {
     }
 
     {
+      trace::set_thread_rank(rank);
+      trace::TraceSpan job_span("job", rank, size);
       perf::ScopedRecorder scoped(state->recorders[static_cast<std::size_t>(rank)]);
       Communicator comm(*state, rank);
       t_loop_state = state;
@@ -354,6 +384,7 @@ void Executor::worker_loop(int rank, std::uint64_t seen) {
       t_loop_state = nullptr;
       t_loop_rank = -1;
     }
+    trace::set_thread_rank(-1);
     state->control.finish(rank);
     {
       std::lock_guard lock(mutex_);
@@ -383,6 +414,9 @@ void serve_task(LoopTask& task) {
         task.next = hi;
       }
       try {
+        // Helper attribution: arg0 = owning rank, arg1 = chunk length.
+        trace::TraceSpan chunk_span("loop.help", task.owner,
+                                    static_cast<std::int64_t>(hi - lo));
         (*task.body)(lo, hi);
         chunks += 1.0;
       } catch (...) {
@@ -395,6 +429,7 @@ void serve_task(LoopTask& task) {
     t_in_loop_chunk = false;
   }
   scratch.record_helper_chunk(chunks);
+  perf::record_helper_chunks(chunks);
   std::lock_guard g(task.m);
   // Merge even the records of a failed loop into the partial map; the owner
   // discards partials wholesale on error, so nothing leaks into profiles.
@@ -454,6 +489,8 @@ void Executor::loop_parallel(RuntimeState& state, int rank, LoopTask& task) {
       task.next = hi;
     }
     try {
+      trace::TraceSpan chunk_span("loop.chunk", static_cast<std::int64_t>(lo),
+                                  static_cast<std::int64_t>(hi));
       (*task.body)(lo, hi);
     } catch (...) {
       std::lock_guard g(task.m);
@@ -507,8 +544,10 @@ void Executor::wait_for_job(std::unique_lock<std::mutex>& lock) {
     // The scan reads only atomics and per-mailbox stats; holding mutex_
     // here cannot deadlock because no worker ever holds a mailbox lock
     // while taking mutex_.
+    trace::emit_instant("watchdog.scan");
     std::string report = deadlock_report(state, memory, timeout, generation_);
     if (report.empty()) continue;
+    trace::emit_instant("watchdog.timeout");
     if (!first_error_) {
       first_error_ = std::make_exception_ptr(WatchdogTimeout(report));
     }
@@ -571,6 +610,9 @@ RunResult Executor::run(const RunOptions& options_in,
     state_.reset();
     std::exception_ptr error = first_error_;
     first_error_ = nullptr;
+    // Flight-recorder post-mortem: every worker is parked again (the job
+    // fully drained above), so the rings are quiescent and safe to drain.
+    postmortem_for(error);
     std::rethrow_exception(error);
   }
 
@@ -636,6 +678,7 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
   task.next = begin;
   task.end = end;
   task.grain = grain;
+  task.owner = t_loop_rank;
   task.body = &body;
   Executor::shared().loop_parallel(*state, t_loop_rank, task);
 }

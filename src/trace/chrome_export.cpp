@@ -1,0 +1,138 @@
+#include "trace/chrome_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "trace/metrics.hpp"
+
+namespace vpar::trace {
+
+namespace {
+
+/// Minimal JSON string escape (quotes, backslashes, control characters).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Microseconds with sub-microsecond precision, relative to `epoch_ns`.
+void write_ts(std::ostream& out, std::uint64_t ts_ns, std::uint64_t epoch_ns) {
+  const std::uint64_t rel = ts_ns >= epoch_ns ? ts_ns - epoch_ns : 0;
+  out << rel / 1000 << "." << (rel % 1000) / 100;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const std::vector<ThreadTrace>& threads,
+                        const std::string& reason) {
+  // Common epoch: the earliest event across all threads, so timelines align.
+  std::uint64_t epoch = ~std::uint64_t{0};
+  for (const auto& t : threads) {
+    for (const auto& e : t.events) epoch = std::min(epoch, e.ts_ns);
+  }
+  if (epoch == ~std::uint64_t{0}) epoch = 0;
+
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ",\n";
+    first = false;
+  };
+
+  out << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"vpar job\"}}";
+  first = false;
+
+  for (const auto& t : threads) {
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << t.tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << escape(t.label)
+        << "\"}}";
+    for (const auto& e : t.events) {
+      sep();
+      switch (e.kind) {
+        case EventKind::Span:
+          out << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << t.tid << ",\"ts\":";
+          write_ts(out, e.ts_ns, epoch);
+          out << ",\"dur\":" << e.dur_ns / 1000 << "." << (e.dur_ns % 1000) / 100
+              << ",\"name\":\"" << e.name << "\",\"cat\":\"vpar\",\"args\":{"
+              << "\"rank\":" << e.rank << ",\"a0\":" << e.arg0
+              << ",\"a1\":" << e.arg1 << "}}";
+          break;
+        case EventKind::Instant:
+          out << "{\"ph\":\"i\",\"pid\":1,\"tid\":" << t.tid << ",\"ts\":";
+          write_ts(out, e.ts_ns, epoch);
+          out << ",\"name\":\"" << e.name << "\",\"cat\":\"vpar\",\"s\":\"t\","
+              << "\"args\":{\"rank\":" << e.rank << ",\"a0\":" << e.arg0
+              << ",\"a1\":" << e.arg1 << "}}";
+          break;
+        case EventKind::Counter:
+          out << "{\"ph\":\"C\",\"pid\":1,\"tid\":" << t.tid << ",\"ts\":";
+          write_ts(out, e.ts_ns, epoch);
+          out << ",\"name\":\"" << e.name << "\",\"args\":{\"value\":" << e.id
+              << "}}";
+          break;
+        case EventKind::FlowBegin:
+          out << "{\"ph\":\"s\",\"pid\":1,\"tid\":" << t.tid << ",\"ts\":";
+          write_ts(out, e.ts_ns, epoch);
+          out << ",\"name\":\"" << e.name << "\",\"cat\":\"msg\",\"id\":"
+              << e.id << "}";
+          break;
+        case EventKind::FlowEnd:
+          out << "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":" << t.tid
+              << ",\"ts\":";
+          write_ts(out, e.ts_ns, epoch);
+          out << ",\"name\":\"" << e.name << "\",\"cat\":\"msg\",\"id\":"
+              << e.id << "}";
+          break;
+      }
+    }
+  }
+
+  std::uint64_t overwritten = 0;
+  for (const auto& t : threads) overwritten += t.overwritten;
+  out << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+      << "\"overwritten_events\":" << overwritten;
+  if (!reason.empty()) out << ",\"reason\":\"" << escape(reason) << "\"";
+  out << "}}\n";
+}
+
+bool export_chrome_trace(const std::string& path, const std::string& reason) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out, drain_all(), reason);
+  return static_cast<bool>(out);
+}
+
+std::string write_postmortem(const std::string& reason) {
+  if (!enabled()) return {};
+  const char* dir_env = std::getenv("VPAR_TRACE_DIR");
+  const std::string dir = dir_env != nullptr && *dir_env != '\0' ? dir_env : ".";
+  const std::string trace_path = dir + "/vpar_postmortem.trace.json";
+  if (!export_chrome_trace(trace_path, reason)) return {};
+  std::ofstream metrics_out(dir + "/vpar_postmortem.metrics.json");
+  if (metrics_out) Metrics::instance().snapshot().write_json(metrics_out);
+  return trace_path;
+}
+
+}  // namespace vpar::trace

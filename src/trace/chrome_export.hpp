@@ -1,0 +1,33 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace vpar::trace {
+
+/// Write `threads` as a Chrome/Perfetto trace (JSON Object Format): one pid
+/// for the whole job, one tid per recorded thread, spans as complete ("X")
+/// events, instants as "i", counters as "C", and flow "s"/"f" pairs linking
+/// each message send to its receive-side match. Open the file in Perfetto
+/// (ui.perfetto.dev) or chrome://tracing. `reason` (optional) lands in
+/// otherData.reason — post-mortem dumps carry the abort report there.
+void write_chrome_trace(std::ostream& out, const std::vector<ThreadTrace>& threads,
+                        const std::string& reason = {});
+
+/// Drain every thread's ring and write the trace to `path`. Returns false if
+/// the file cannot be opened. Callers must be quiesced (see drain_all).
+bool export_chrome_trace(const std::string& path, const std::string& reason = {});
+
+/// Post-mortem flight-recorder dump: when tracing is enabled, drain all
+/// rings and write <dir>/vpar_postmortem.trace.json plus a metrics snapshot
+/// to <dir>/vpar_postmortem.metrics.json, where dir is $VPAR_TRACE_DIR (or
+/// "."). The runtime calls this after a job fails (watchdog timeout, rank
+/// error, cooperative abort) — the last moments of every rank, with the
+/// failure reason embedded. Returns the trace path, or "" when tracing is
+/// off or the files cannot be written. Latest failure wins (overwrite).
+std::string write_postmortem(const std::string& reason);
+
+}  // namespace vpar::trace

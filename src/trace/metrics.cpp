@@ -1,0 +1,100 @@
+#include "trace/metrics.hpp"
+
+namespace vpar::trace {
+
+Metrics& Metrics::instance() {
+  // Leaked singleton: counters are bumped from executor workers that may
+  // outlive static destruction order, so the registry must never die.
+  static Metrics* m = new Metrics();
+  return *m;
+}
+
+Counter& Metrics::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Metrics::histogram(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Metrics::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      data.buckets[i] = h->bucket(i);
+    }
+    data.sum = h->sum();
+    snap.histograms[name] = data;
+  }
+  return snap;
+}
+
+MetricsSnapshot MetricsSnapshot::diff(const MetricsSnapshot& older) const {
+  MetricsSnapshot out = *this;
+  for (auto& [name, value] : out.counters) {
+    auto it = older.counters.find(name);
+    if (it != older.counters.end()) value -= it->second;
+  }
+  for (auto& [name, data] : out.histograms) {
+    auto it = older.histograms.find(name);
+    if (it == older.histograms.end()) continue;
+    for (std::size_t i = 0; i < data.buckets.size(); ++i) {
+      data.buckets[i] -= it->second.buckets[i];
+    }
+    data.sum -= it->second.sum;
+  }
+  return out;
+}
+
+void MetricsSnapshot::write_json(std::ostream& out) const {
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << value;
+    first = false;
+  }
+  out << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, data] : histograms) {
+    out << (first ? "\n" : ",\n") << "    \"" << name
+        << "\": {\"count\": " << data.count() << ", \"sum\": " << data.sum
+        << ", \"buckets\": [";
+    // Trailing empty buckets are elided so the dump stays readable.
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < data.buckets.size(); ++i) {
+      if (data.buckets[i] != 0) last = i + 1;
+    }
+    for (std::size_t i = 0; i < last; ++i) {
+      out << (i == 0 ? "" : ", ") << data.buckets[i];
+    }
+    out << "]}";
+    first = false;
+  }
+  out << "\n  }\n}\n";
+}
+
+void MetricsSnapshot::write_csv(std::ostream& out) const {
+  out << "metric,value\n";
+  for (const auto& [name, value] : counters) {
+    out << name << "," << value << "\n";
+  }
+  for (const auto& [name, data] : histograms) {
+    out << name << ".count," << data.count() << "\n";
+    out << name << ".sum," << data.sum << "\n";
+  }
+}
+
+}  // namespace vpar::trace

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace vpar::trace {
+
+/// Named monotonic counter. Hot paths hold the reference returned by
+/// Metrics::counter() once and then pay one relaxed atomic add per event —
+/// the registry lookup never sits on a hot path.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Log2-bucketed histogram of non-negative values (message sizes, durations):
+/// bucket 0 counts value 0, bucket i counts values in [2^(i-1), 2^i).
+/// Recording is one relaxed atomic add; no floating point, no allocation.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;  // 0 plus one per bit of uint64
+
+  void record(std::uint64_t value) {
+    buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t value) {
+    std::size_t b = 0;
+    while (value != 0) {
+      value >>= 1;
+      ++b;
+    }
+    return b;
+  }
+
+  /// Inclusive upper bound of a bucket (0 for bucket 0, 2^i - 1 for i > 0).
+  [[nodiscard]] static std::uint64_t bucket_limit(std::size_t bucket) {
+    if (bucket == 0) return 0;
+    if (bucket >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << bucket) - 1;
+  }
+
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const {
+    std::uint64_t n = 0;
+    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
+  [[nodiscard]] std::uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Point-in-time copy of every metric; subtract an older snapshot to get the
+/// traffic of one region of interest (a run, a bench, a failed job).
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+    std::uint64_t sum = 0;
+    [[nodiscard]] std::uint64_t count() const {
+      std::uint64_t n = 0;
+      for (auto b : buckets) n += b;
+      return n;
+    }
+  };
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, HistogramData> histograms;
+
+  /// This snapshot minus `older` (counters are monotonic, so the difference
+  /// is the activity between the two snapshot points).
+  [[nodiscard]] MetricsSnapshot diff(const MetricsSnapshot& older) const;
+
+  void write_json(std::ostream& out) const;
+  void write_csv(std::ostream& out) const;
+};
+
+/// Process-wide metrics registry: find-or-create named counters and
+/// histograms. The returned references are stable for the process lifetime.
+class Metrics {
+ public:
+  static Metrics& instance();
+
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  Metrics() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace vpar::trace
