@@ -23,11 +23,19 @@
 #include <vector>
 
 #include "blas/blas.hpp"
+#include "cactus/adm.hpp"
 #include "cactus/evolve.hpp"
+#include "cactus/grid.hpp"
+#include "fft/fft1d.hpp"
 #include "fft/fft3d.hpp"
 #include "fft/fft3d_dist.hpp"
+#include "gtc/deposition.hpp"
+#include "gtc/push.hpp"
 #include "gtc/simulation.hpp"
+#include "lbmhd/collision.hpp"
+#include "lbmhd/field_set.hpp"
 #include "lbmhd/simulation.hpp"
+#include "simd/dispatch.hpp"
 #include "simrt/parallel.hpp"
 #include "simrt/runtime.hpp"
 #include "trace/metrics.hpp"
@@ -271,6 +279,138 @@ HybridProbe hybrid_probe(const std::string& name,
   return p;
 }
 
+struct SimdProbe {
+  std::string name;
+  double scalar_seconds = 0.0;
+  double simd_seconds = 0.0;
+  [[nodiscard]] double speedup() const {
+    return simd_seconds > 0.0 ? scalar_seconds / simd_seconds : 1.0;
+  }
+};
+
+/// Time one kernel with dispatch forced scalar, then forced to the host's
+/// widest compiled vector path. Interleaved min-of-3 per mode (same rationale
+/// as the trace probe: load drift must not read as a fake ratio). Hybrid
+/// helpers are kept off so the ratio isolates vectorization. On a host whose
+/// preferred width is 1 both runs take the scalar path and the ratio is ~1.
+SimdProbe simd_probe(const std::string& name,
+                     const std::function<void()>& fn) {
+  SimdProbe p;
+  p.name = name;
+  for (int i = 0; i < 3; ++i) {
+    vpar::simd::set_dispatch_mode(vpar::simd::DispatchMode::ForceScalar);
+    const double s = time_of(fn);
+    vpar::simd::set_dispatch_mode(vpar::simd::DispatchMode::ForceSimd);
+    const double v = time_of(fn);
+    p.scalar_seconds = i == 0 ? s : std::min(p.scalar_seconds, s);
+    p.simd_seconds = i == 0 ? v : std::min(p.simd_seconds, v);
+  }
+  vpar::simd::set_dispatch_mode(vpar::simd::DispatchMode::Auto);
+  std::printf("  simd %-14s scalar %7.3f s  simd %7.3f s  (%.2fx)\n",
+              name.c_str(), p.scalar_seconds, p.simd_seconds, p.speedup());
+  std::fflush(stdout);
+  return p;
+}
+
+/// The five vectorized kernels, serially, at paper-representative working
+/// sets, timed as direct kernel calls so the ratio is kernel time only.
+std::vector<SimdProbe> run_simd_probes() {
+  std::printf("simd probe: width %zu (%s), direct kernel timings\n",
+              vpar::simd::preferred_width(),
+              vpar::simd::width_isa_name(vpar::simd::preferred_width()));
+  vpar::simrt::set_hybrid_threading(vpar::simrt::HybridMode::Off);
+  std::vector<SimdProbe> probes;
+
+  {
+    vpar::lbmhd::FieldSet fs(256, 96);
+    const std::size_t fsize = 9 * fs.plane_size();
+    for (std::size_t i = 0; i < fs.raw().size(); ++i) {
+      fs.raw()[i] = i < fsize ? 0.11 + 0.001 * static_cast<double>(i % 9)
+                              : 0.001 * static_cast<double>(i % 7);
+    }
+    probes.push_back(simd_probe("lbmhd_collide", [&fs] {
+      for (int r = 0; r < 400; ++r) {
+        vpar::lbmhd::collide_flat(fs, vpar::lbmhd::CollisionParams{});
+      }
+    }));
+  }
+
+  {
+    vpar::cactus::GridFunctions state(vpar::cactus::kNumFields, 64, 16, 16);
+    vpar::cactus::GridFunctions rhs(vpar::cactus::kNumFields, 64, 16, 16);
+    for (std::size_t i = 0; i < state.raw().size(); ++i) {
+      state.raw()[i] = 1e-3 * static_cast<double>(i % 37) - 18e-3;
+    }
+    probes.push_back(simd_probe("cactus_rhs", [&] {
+      for (int r = 0; r < 30; ++r) {
+        vpar::cactus::compute_rhs(state, rhs, 0.25, 0, 64, 0, 16, 0, 16,
+                                  vpar::cactus::RhsVariant::Vector);
+      }
+    }));
+  }
+
+  // The GTC pair runs inside a one-rank job so gather_push's parallel_for
+  // has its usual pool context; run() blocks, so appending to `probes` from
+  // the rank body is safe.
+  vpar::simrt::run(1, [&probes](vpar::simrt::Communicator& comm) {
+    vpar::gtc::TorusGrid grid(64, 64, 4, comm.size(), comm.rank());
+    for (int pl = 0; pl < grid.planes_local(); ++pl) {
+      for (std::size_t i = 0; i < grid.plane_size(); ++i) {
+        grid.ex_plane(pl)[i] = 0.01 * static_cast<double>(i % 23) - 0.11;
+        grid.ey_plane(pl)[i] = 0.01 * static_cast<double>(i % 19) - 0.09;
+      }
+    }
+    std::vector<double> exg(grid.plane_size(), 0.01), eyg(grid.plane_size(), -0.02);
+    vpar::gtc::ParticleSet particles;
+    const std::size_t np = 10 * grid.plane_size();
+    for (std::size_t i = 0; i < np; ++i) {
+      particles.push_back(
+          static_cast<double>(i % 64) + 0.37, static_cast<double>(i % 61) + 0.21,
+          grid.zeta_min() + 1e-4 * static_cast<double>(i % 97), 0.1, 1.2, 1.0);
+    }
+    probes.push_back(simd_probe("gtc_push_deposit", [&] {
+      for (int r = 0; r < 12; ++r) {
+        vpar::gtc::gather_push(particles, grid, exg, eyg, 1e-3, 1.0);
+        vpar::gtc::deposit(particles, grid, vpar::gtc::DepositVariant::WorkVector, 32);
+        grid.zero_charge();
+      }
+    }));
+  });
+
+  {
+    std::vector<vpar::fft::Complex> data(4096);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = vpar::fft::Complex(static_cast<double>(i % 13) - 6.0,
+                                   static_cast<double>(i % 7) - 3.0);
+    }
+    const vpar::fft::Fft1d plan(4096);
+    probes.push_back(simd_probe("fft1d", [&] {
+      for (int r = 0; r < 250; ++r) {
+        plan.forward(data);
+        plan.inverse(data);
+      }
+    }));
+  }
+
+  {
+    constexpr std::size_t n = 160;
+    std::vector<double> a(n * n), b(n * n), c(n * n, 0.0);
+    for (std::size_t i = 0; i < n * n; ++i) {
+      a[i] = static_cast<double>(i % 7) - 3.0;
+      b[i] = static_cast<double>(i % 11) - 5.0;
+    }
+    probes.push_back(simd_probe("gemm", [&] {
+      for (int r = 0; r < 40; ++r) {
+        vpar::blas::gemm(vpar::blas::Trans::None, vpar::blas::Trans::None, n, n,
+                         n, 1.0, a.data(), n, b.data(), n, 0.0, c.data(), n);
+      }
+    }));
+  }
+
+  vpar::simrt::set_hybrid_threading(vpar::simrt::HybridMode::Auto);
+  return probes;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -388,6 +528,22 @@ int main(int argc, char** argv) {
   hybrid.push_back(hybrid_probe("gtc", [] { gtc_hybrid_steps(2, 8); }));
   hybrid.push_back(hybrid_probe("gemm", [] { gemm_ranks(2, 10); }));
 
+  // SIMD dispatch probe: the five vectorized kernels, scalar path vs the
+  // widest compiled-and-supported vector path. Own JSON field, NOT a bench
+  // entry — the aggregate baselines stay comparable across the change that
+  // introduced the SIMD layer (the benches above run dispatch Auto, i.e. the
+  // vector path, which is what the baseline refresh captures).
+  const std::vector<SimdProbe> simd_probes = run_simd_probes();
+  double simd_scalar_total = 0.0, simd_vector_total = 0.0;
+  for (const auto& p : simd_probes) {
+    simd_scalar_total += p.scalar_seconds;
+    simd_vector_total += p.simd_seconds;
+  }
+  const double simd_aggregate =
+      simd_vector_total > 0.0 ? simd_scalar_total / simd_vector_total : 1.0;
+  std::printf("simd aggregate: scalar %.3f s, simd %.3f s (%.2fx)\n",
+              simd_scalar_total, simd_vector_total, simd_aggregate);
+
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "wallclock: cannot open " << out_path << "\n";
@@ -416,6 +572,19 @@ int main(int argc, char** argv) {
         << (i + 1 < hybrid.size() ? "," : "") << "\n";
   }
   out << "    ]\n  },\n";
+  out << "  \"simd\": {\n    \"width\": " << vpar::simd::preferred_width()
+      << ",\n    \"isa\": \""
+      << vpar::simd::width_isa_name(vpar::simd::preferred_width())
+      << "\",\n    \"kernels\": [\n";
+  for (std::size_t i = 0; i < simd_probes.size(); ++i) {
+    const auto& p = simd_probes[i];
+    out << "      {\"name\": \"" << p.name << "\", \"scalar_seconds\": "
+        << p.scalar_seconds << ", \"simd_seconds\": " << p.simd_seconds
+        << ", \"speedup\": " << p.speedup() << "}"
+        << (i + 1 < simd_probes.size() ? "," : "") << "\n";
+  }
+  out << "    ],\n    \"aggregate_speedup\": " << simd_aggregate
+      << "\n  },\n";
   // Whole-process metrics snapshot (message counts, payload tiers, fault
   // totals) — the registry view of everything the benches above did.
   out << "  \"metrics\": ";

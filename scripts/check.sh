@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full check: regular build + tests, then the simrt runtime test binaries
 # under ThreadSanitizer (the threads-as-ranks runtime is the one place real
-# data races can hide).
+# data races can hide), then the SIMD suites under AddressSanitizer (the
+# vector strip-mining tails are the one place out-of-bounds loads can hide).
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -18,12 +19,22 @@ echo "== ThreadSanitizer build (simrt runtime tests) =="
 cmake -B build-tsan -S . -DVPAR_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$JOBS" \
   --target test_simrt test_simrt_stress test_simrt_nonblocking test_simrt_executor \
-  test_simrt_faults test_simrt_hybrid test_trace
+  test_simrt_faults test_simrt_hybrid test_trace test_simd test_simd_equivalence
 
 for t in test_simrt test_simrt_stress test_simrt_nonblocking test_simrt_executor \
-         test_simrt_faults test_simrt_hybrid test_trace; do
+         test_simrt_faults test_simrt_hybrid test_trace \
+         test_simd test_simd_equivalence; do
   echo "-- TSan: $t"
   TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/$t"
+done
+
+echo "== AddressSanitizer build (SIMD suites: strip-mining tail bounds) =="
+cmake -B build-asan -S . -DVPAR_SANITIZE=address >/dev/null
+cmake --build build-asan -j"$JOBS" --target test_simd test_simd_equivalence
+
+for t in test_simd test_simd_equivalence; do
+  echo "-- ASan: $t"
+  ASAN_OPTIONS="halt_on_error=1" "./build-asan/tests/$t"
 done
 
 echo "All checks passed."

@@ -174,6 +174,56 @@ const PlatformSpec& x1() {
   return spec;
 }
 
+const PlatformSpec& host2026() {
+  static const PlatformSpec spec = [] {
+    PlatformSpec p;
+    p.name = "Host2026";
+    // A 2026 commodity x86-64 core with AVX-512: architecturally it sits in
+    // the paper's vector column — wide lanes fed by a short-vector ISA —
+    // with a hardware VL of 8 doubles against the ES's 256 and the X1's 64.
+    // Calibration constants below come from this repo's own measurements on
+    // such a host (bench/wallclock "simd" probe and the simd.lanes_active
+    // metrics; see docs/performance.md "Host SIMD"), not from vendor peaks.
+    p.is_vector = true;
+    p.cpus_per_node = 1;  // the CI/bench VM exposes a single core
+    p.clock_mhz = 2100.0;
+    // 8 lanes x 2 flops (mul+add; the portable layer forbids FMA
+    // contraction for bitwise scalar equivalence) at 2.1 GHz.
+    p.peak_gflops = 33.6;
+    p.mem_bw_gbs = 15.0;  // single-core sustained stream on the VM class
+    p.peak_bytes_per_flop = 0.45;
+    // simrt in-process "MPI": a send is a fenced queue push.
+    p.mpi_latency_us = 0.5;
+    p.net_bw_gbs = 8.0;
+    p.bisection_bytes_per_flop = 0.24;  // shared-memory all-to-all
+    p.bisection_reference_procs = 0;
+    p.collective_eff = 0.90;
+    p.topology = Topology::FatTree;
+    p.vector_length = 8;
+    // Scalar unit: 2 flops/cycle superscalar issue.
+    p.scalar_gflops = 4.2;
+    p.serialized_gflops = 4.2;
+    p.scalar_eff = 0.55;
+    // Short pipes and L1-resident strips: half performance is reached within
+    // a couple of hardware vectors, unlike the deep-pipe ES/X1.
+    p.vector_n_half = 16.0;
+    // Measured: the AVX-512 collision/ADM paths sustain a large fraction of
+    // the auto-vectorized baseline's bandwidth; compute-bound gemm clears
+    // ~80% of the no-FMA vector peak in the wallclock probe.
+    p.vector_stream_eff = 0.75;
+    p.vector_compute_eff = 0.80;
+    p.compute_efficiency = 0.80;
+    p.cache_mb = 32.0;  // L2 + L3 slice visible to the single core
+    p.stream_bw_eff = 0.80;
+    p.cache_bw_multiplier = 6.0;
+    p.oneside_latency_us = 0.0;
+    p.supports_caf = false;
+    p.overlap_eff = 0.50;  // one core: overlap is cooperative, not free
+    return p;
+  }();
+  return spec;
+}
+
 const std::vector<PlatformSpec>& all_platforms() {
   static const std::vector<PlatformSpec> platforms = {
       power3(), power4(), altix(), earth_simulator(), x1()};
@@ -184,6 +234,9 @@ const PlatformSpec& platform_by_name(const std::string& name) {
   for (const auto& p : all_platforms()) {
     if (p.name == name) return p;
   }
+  // The calibrated host platform is addressable by name but deliberately not
+  // part of all_platforms(): the paper-table benches iterate the Table 1 five.
+  if (name == host2026().name) return host2026();
   throw std::runtime_error("unknown platform: " + name);
 }
 

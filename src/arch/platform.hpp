@@ -78,10 +78,18 @@ struct PlatformSpec {
 [[nodiscard]] const PlatformSpec& earth_simulator();
 [[nodiscard]] const PlatformSpec& x1();
 
+/// A sixth, non-Table-1 platform: the modern x86-64 host this repo's SIMD
+/// layer runs on, calibrated from the wallclock "simd" probe measurements
+/// (short hardware vectors: VL = 8 doubles with AVX-512). Not included in
+/// all_platforms() so the paper-table benches keep iterating the Table 1
+/// five; addressable through platform_by_name("Host2026").
+[[nodiscard]] const PlatformSpec& host2026();
+
 /// All five, in the paper's Table 1 order.
 [[nodiscard]] const std::vector<PlatformSpec>& all_platforms();
 
-/// Lookup by name ("Power3", "Power4", "Altix", "ES", "X1"); throws on miss.
+/// Lookup by name ("Power3", "Power4", "Altix", "ES", "X1", "Host2026");
+/// throws on miss.
 [[nodiscard]] const PlatformSpec& platform_by_name(const std::string& name);
 
 [[nodiscard]] const char* to_string(Topology t);

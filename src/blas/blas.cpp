@@ -4,7 +4,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "blas/blas_simd.hpp"
 #include "perf/recorder.hpp"
+#include "simd/dispatch.hpp"
 #include "simrt/parallel.hpp"
 #include "trace/trace.hpp"
 
@@ -66,6 +68,11 @@ void gemm_impl(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
   // products in the reference (i, p, j) order — bitwise identical to the
   // serial blocked form.
   const std::size_t row_blocks = (m + kBlock - 1) / kBlock;
+  // Runtime dispatch for the packed-tile update (the flops): double and
+  // Complex route to the SIMD microkernel, other element types stay scalar.
+  constexpr bool kHasSimdTile =
+      std::is_same_v<T, double> || std::is_same_v<T, Complex>;
+  const bool simd_tile = kHasSimdTile && simd::use_simd();
   simrt::parallel_for(0, row_blocks, 1, [&](std::size_t b0, std::size_t b1) {
     // Pack buffers are per serving thread and reused across calls — the
     // steady-state gemm stream must not touch the allocator.
@@ -106,7 +113,16 @@ void gemm_impl(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
             }
           }
           // Same (i, p, j) update order as the unpacked form, so each C element
-          // accumulates its k products in an identical sequence.
+          // accumulates its k products in an identical sequence — the SIMD
+          // microkernel vectorizes only the j loop and keeps that order.
+          if constexpr (kHasSimdTile) {
+            if (simd_tile) {
+              detail::gemm_tile_simd(c + i0 * ldc + j0, ldc, a_block.data(),
+                                     b_block.data(), kBlock, alpha, i1 - i0,
+                                     p1 - p0, jw);
+              continue;
+            }
+          }
           for (std::size_t i = i0; i < i1; ++i) {
             T* __restrict crow = c + i * ldc + j0;
             for (std::size_t p = p0; p < p1; ++p) {

@@ -1,0 +1,157 @@
+#include "blas/blas_simd.hpp"
+
+#include "simd/dispatch.hpp"
+#include "simd/simd.hpp"
+
+namespace vpar::blas::detail {
+
+namespace {
+
+using Complex = std::complex<double>;
+using simd::load;
+using simd::splat;
+using simd::store;
+
+/// Real tile body: the inner j loop in W-wide strips, scalar tail from the
+/// same expression (`crow[j] + aip * brow[j]` is exactly the += form).
+template <std::size_t W>
+VPAR_SIMD_INLINE void tile_real_w(double* c, std::size_t ldc,
+                                  const double* a_block, const double* b_block,
+                                  std::size_t bs, double alpha, std::size_t mi,
+                                  std::size_t kp, std::size_t jw) {
+  const std::size_t jv = jw / W * W;
+  for (std::size_t i = 0; i < mi; ++i) {
+    double* __restrict crow = c + i * ldc;
+    for (std::size_t p = 0; p < kp; ++p) {
+      const double aip = alpha * a_block[i * bs + p];
+      const double* __restrict brow = b_block + p * bs;
+      const simd::vec<W> va = splat<W>(aip);
+      for (std::size_t j = 0; j < jv; j += W) {
+        store<W>(crow + j, load<W>(crow + j) + va * load<W>(brow + j));
+      }
+      for (std::size_t j = jv; j < jw; ++j) crow[j] += aip * brow[j];
+    }
+  }
+}
+
+/// Complex tile body over interleaved doubles. complex_mul(b, splat_pair(aip))
+/// reproduces the scalar product's operand order lane-for-lane, and the
+/// vector add matches the component-wise +=.
+template <std::size_t W>
+VPAR_SIMD_INLINE void tile_cplx_w(Complex* c, std::size_t ldc,
+                                  const Complex* a_block,
+                                  const Complex* b_block, std::size_t bs,
+                                  Complex alpha, std::size_t mi, std::size_t kp,
+                                  std::size_t jw) {
+  if constexpr (W == 1) {
+    for (std::size_t i = 0; i < mi; ++i) {
+      Complex* __restrict crow = c + i * ldc;
+      for (std::size_t p = 0; p < kp; ++p) {
+        const Complex aip = alpha * a_block[i * bs + p];
+        const Complex* __restrict brow = b_block + p * bs;
+        for (std::size_t j = 0; j < jw; ++j) crow[j] += aip * brow[j];
+      }
+    }
+  }
+#if VPAR_SIMD_HAVE_VEC
+  else {
+    using V = simd::vec<W>;
+    constexpr std::size_t kC = W / 2;  // complexes per vector
+    const std::size_t jv = jw / kC * kC;
+    for (std::size_t i = 0; i < mi; ++i) {
+      Complex* __restrict crow = c + i * ldc;
+      double* __restrict crd = reinterpret_cast<double*>(crow);
+      for (std::size_t p = 0; p < kp; ++p) {
+        const Complex aip = alpha * a_block[i * bs + p];
+        const Complex* __restrict brow = b_block + p * bs;
+        const double* __restrict brd = reinterpret_cast<const double*>(brow);
+        const V va = simd::splat_pair<W>(aip.real(), aip.imag());
+        for (std::size_t j = 0; j < jv; j += kC) {
+          const V vb = load<W>(brd + 2 * j);
+          const V vc = load<W>(crd + 2 * j);
+          store<W>(crd + 2 * j, vc + simd::complex_mul<W>(vb, va));
+        }
+        for (std::size_t j = jv; j < jw; ++j) crow[j] += aip * brow[j];
+      }
+    }
+  }
+#endif
+}
+
+#if VPAR_SIMD_CLONE_AVX
+__attribute__((noinline, target("avx"))) void tile_real_v4(
+    double* c, std::size_t ldc, const double* ab, const double* bb,
+    std::size_t bs, double alpha, std::size_t mi, std::size_t kp,
+    std::size_t jw) {
+  tile_real_w<4>(c, ldc, ab, bb, bs, alpha, mi, kp, jw);
+}
+__attribute__((noinline, target("avx"))) void tile_cplx_v4(
+    Complex* c, std::size_t ldc, const Complex* ab, const Complex* bb,
+    std::size_t bs, Complex alpha, std::size_t mi, std::size_t kp,
+    std::size_t jw) {
+  tile_cplx_w<4>(c, ldc, ab, bb, bs, alpha, mi, kp, jw);
+}
+#endif
+#if VPAR_SIMD_CLONE_AVX512
+__attribute__((noinline, target("avx512f"))) void tile_real_v8(
+    double* c, std::size_t ldc, const double* ab, const double* bb,
+    std::size_t bs, double alpha, std::size_t mi, std::size_t kp,
+    std::size_t jw) {
+  tile_real_w<8>(c, ldc, ab, bb, bs, alpha, mi, kp, jw);
+}
+__attribute__((noinline, target("avx512f"))) void tile_cplx_v8(
+    Complex* c, std::size_t ldc, const Complex* ab, const Complex* bb,
+    std::size_t bs, Complex alpha, std::size_t mi, std::size_t kp,
+    std::size_t jw) {
+  tile_cplx_w<8>(c, ldc, ab, bb, bs, alpha, mi, kp, jw);
+}
+#endif
+
+}  // namespace
+
+void gemm_tile_simd(double* c, std::size_t ldc, const double* a_block,
+                    const double* b_block, std::size_t block_stride,
+                    double alpha, std::size_t mi, std::size_t kp,
+                    std::size_t jw) {
+  const std::size_t w = simd::active_width();
+  switch (w) {
+#if VPAR_SIMD_CLONE_AVX512
+    case 8: tile_real_v8(c, ldc, a_block, b_block, block_stride, alpha, mi, kp, jw); break;
+#endif
+#if VPAR_SIMD_CLONE_AVX
+    case 4: tile_real_v4(c, ldc, a_block, b_block, block_stride, alpha, mi, kp, jw); break;
+#endif
+#if VPAR_SIMD_HAVE_VEC
+    case 2: tile_real_w<2>(c, ldc, a_block, b_block, block_stride, alpha, mi, kp, jw); break;
+#endif
+    default: tile_real_w<1>(c, ldc, a_block, b_block, block_stride, alpha, mi, kp, jw); break;
+  }
+  simd::record_spans(w, mi * kp, jw / w, jw % w);
+}
+
+void gemm_tile_simd(Complex* c, std::size_t ldc, const Complex* a_block,
+                    const Complex* b_block, std::size_t block_stride,
+                    Complex alpha, std::size_t mi, std::size_t kp,
+                    std::size_t jw) {
+  const std::size_t w = simd::active_width();
+  switch (w) {
+#if VPAR_SIMD_CLONE_AVX512
+    case 8: tile_cplx_v8(c, ldc, a_block, b_block, block_stride, alpha, mi, kp, jw); break;
+#endif
+#if VPAR_SIMD_CLONE_AVX
+    case 4: tile_cplx_v4(c, ldc, a_block, b_block, block_stride, alpha, mi, kp, jw); break;
+#endif
+#if VPAR_SIMD_HAVE_VEC
+    case 2: tile_cplx_w<2>(c, ldc, a_block, b_block, block_stride, alpha, mi, kp, jw); break;
+#endif
+    default: tile_cplx_w<1>(c, ldc, a_block, b_block, block_stride, alpha, mi, kp, jw); break;
+  }
+  if (w == 1) {
+    simd::record_spans(1, mi * kp, jw, 0);
+  } else {
+    const std::size_t kc = w / 2;
+    simd::record_spans(w, mi * kp, jw / kc, 2 * (jw % kc));
+  }
+}
+
+}  // namespace vpar::blas::detail

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+
+namespace vpar::blas::detail {
+
+/// SIMD update of one packed gemm tile: for i in [0, mi), p in [0, kp),
+/// aip = alpha * a_block[i * block_stride + p], then
+/// c[i * ldc + j] += aip * b_block[p * block_stride + j] for j in [0, jw) —
+/// the reference (i, p, j) order with the j loop vectorized, so every C
+/// element accumulates its products in the identical scalar sequence
+/// (bitwise). `c` points at the tile origin (row i0, column j0).
+void gemm_tile_simd(double* c, std::size_t ldc, const double* a_block,
+                    const double* b_block, std::size_t block_stride,
+                    double alpha, std::size_t mi, std::size_t kp,
+                    std::size_t jw);
+
+/// Complex variant over interleaved re,im doubles; the scalar complex
+/// coefficient is broadcast as a pair and combined with complex_mul in the
+/// exact rounding order of `crow[j] += aip * brow[j]`.
+void gemm_tile_simd(std::complex<double>* c, std::size_t ldc,
+                    const std::complex<double>* a_block,
+                    const std::complex<double>* b_block,
+                    std::size_t block_stride, std::complex<double> alpha,
+                    std::size_t mi, std::size_t kp, std::size_t jw);
+
+}  // namespace vpar::blas::detail

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cactus/adm_simd.hpp"
 #include "cactus/deriv.hpp"
 #include "perf/recorder.hpp"
+#include "simd/dispatch.hpp"
 #include "simrt/parallel.hpp"
 #include "trace/trace.hpp"
 
@@ -39,14 +41,9 @@ inline void second_derivatives(const GridFunctions& state, std::size_t o,
 /// L1/L2-resident.
 constexpr std::size_t kRowChunk = 128;
 
-/// All 26 grid-function base pointers, hoisted out of the sweep once.
-struct FieldPointers {
-  const double* h[6];
-  const double* k[6];
-  double* rhs_h[6];
-  double* rhs_k[6];
-  double* rhs_lapse;
-};
+/// All 26 grid-function base pointers, hoisted out of the sweep once (shared
+/// type with the SIMD chunk kernel in adm_simd.cpp).
+using FieldPointers = detail::AdmFieldPointers;
 
 FieldPointers field_pointers(const GridFunctions& state, GridFunctions& rhs) {
   FieldPointers p{};
@@ -152,9 +149,16 @@ void rhs_chunk(const FieldPointers& f, std::ptrdiff_t s0, std::ptrdiff_t s1,
 inline void rhs_span(const FieldPointers& f, std::ptrdiff_t s0,
                      std::ptrdiff_t s1, std::ptrdiff_t s2, std::size_t base,
                      std::size_t width, double inv_12h2, double inv_144h2) {
+  // Runtime dispatch: the SIMD chunk kernel mirrors rhs_chunk operation for
+  // operation (bitwise identical); scalar reference stays the fallback.
+  const bool use_simd = simd::use_simd();
   for (std::size_t c = 0; c < width; c += kRowChunk) {
-    rhs_chunk(f, s0, s1, s2, base + c, std::min(kRowChunk, width - c),
-              inv_12h2, inv_144h2);
+    const std::size_t n = std::min(kRowChunk, width - c);
+    if (use_simd) {
+      detail::rhs_chunk_simd(f, s0, s1, s2, base + c, n, inv_12h2, inv_144h2);
+    } else {
+      rhs_chunk(f, s0, s1, s2, base + c, n, inv_12h2, inv_144h2);
+    }
   }
 }
 

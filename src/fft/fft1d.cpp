@@ -4,7 +4,9 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "fft/fft_simd.hpp"
 #include "perf/recorder.hpp"
+#include "simd/dispatch.hpp"
 
 namespace vpar::fft {
 
@@ -67,28 +69,34 @@ Fft1d& Fft1d::operator=(Fft1d&&) noexcept = default;
 void Fft1d::radix2(std::span<Complex> data, bool invert) const {
   const std::size_t n = n_;
   const TwiddleTables& tables = *tables_;
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t j = tables.bitrev[i];
-    if (i < j) std::swap(data[i], data[j]);
-  }
-  std::size_t tw_base = 0;
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const std::size_t half = len / 2;
-    for (std::size_t start = 0; start < n; start += len) {
-      for (std::size_t j = 0; j < half; ++j) {
-        Complex w = tables.twiddle[tw_base + j];
-        if (invert) w = std::conj(w);
-        const Complex u = data[start + j];
-        const Complex t = data[start + j + half] * w;
-        data[start + j] = u + t;
-        data[start + j + half] = u - t;
-      }
+  // Runtime dispatch: the SIMD path runs the same permutation, butterfly
+  // stages and scaling with the j loop vectorized, bitwise identically.
+  if (simd::use_simd()) {
+    detail::radix2_simd(data.data(), n, tables, invert);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t j = tables.bitrev[i];
+      if (i < j) std::swap(data[i], data[j]);
     }
-    tw_base += half;
-  }
-  if (invert) {
-    const double scale = 1.0 / static_cast<double>(n);
-    for (auto& v : data) v *= scale;
+    std::size_t tw_base = 0;
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      const std::size_t half = len / 2;
+      for (std::size_t start = 0; start < n; start += len) {
+        for (std::size_t j = 0; j < half; ++j) {
+          Complex w = tables.twiddle[tw_base + j];
+          if (invert) w = std::conj(w);
+          const Complex u = data[start + j];
+          const Complex t = data[start + j + half] * w;
+          data[start + j] = u + t;
+          data[start + j + half] = u - t;
+        }
+      }
+      tw_base += half;
+    }
+    if (invert) {
+      const double scale = 1.0 / static_cast<double>(n);
+      for (auto& v : data) v *= scale;
+    }
   }
   // One radix-2 transform: log2(n) stages of n/2 butterflies, 10 flops each.
   perf::LoopRecord rec;

@@ -4,7 +4,9 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "fft/fft_simd.hpp"
 #include "perf/recorder.hpp"
+#include "simd/dispatch.hpp"
 #include "simrt/parallel.hpp"
 
 namespace vpar::fft {
@@ -23,6 +25,18 @@ unsigned log2_exact(std::size_t n) {
 /// capturing std::function costs ~2.4x on the serial FFT bench.
 void transform_range(Complex* data, std::size_t n, const TwiddleTables& tables,
                      bool invert, std::size_t t0, std::size_t t1) {
+  // Runtime dispatch: with host SIMD the long j loop inside each transform
+  // beats the strided (stride n complexes) batch-inner walk, so run the
+  // sequences one at a time through the vectorized radix-2 kernel. Each
+  // sequence's operation order is unchanged, so results stay bitwise
+  // identical to the batch-inner loop below.
+  if (simd::use_simd()) {
+    for (std::size_t t = t0; t < t1; ++t) {
+      detail::radix2_simd(data + t * n, n, tables, invert);
+    }
+    return;
+  }
+
   // Bit-reversal permutation, batch-inner.
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t j = tables.bitrev[i];

@@ -6,7 +6,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "gtc/gtc_simd.hpp"
 #include "perf/recorder.hpp"
+#include "simd/dispatch.hpp"
 #include "simrt/parallel.hpp"
 
 namespace vpar::gtc {
@@ -155,8 +157,14 @@ void deposit(const ParticleSet& particles, TorusGrid& grid, DepositVariant varia
       // behind the read (the lanes are cache-hot here; a separate zeroing
       // pass on entry would stream the whole array a second time).
       double* __restrict charge = grid.charge().data();
+      const bool fold_simd = simd::use_simd();
       for (std::size_t lane = 0; lane < vlen; ++lane) {
         double* __restrict w = work.data() + lane * copy;
+        if (fold_simd) {
+          // Element-wise fold: the SIMD sweep is bitwise identical.
+          detail::deposit_fold_simd(charge, w, copy);
+          continue;
+        }
         for (std::size_t k = 0; k < copy; ++k) {
           charge[k] += w[k];
           w[k] = 0.0;
@@ -199,8 +207,15 @@ void deposit(const ParticleSet& particles, TorusGrid& grid, DepositVariant varia
       });
       // Deterministic reduction, re-zeroing behind the read like WorkVector.
       double* __restrict charge = grid.charge().data();
+      const bool fold_simd = simd::use_simd();
       for (std::size_t c = 0; c < kHybridDepositChunks; ++c) {
         double* __restrict w = partial_base + c * copy;
+        if (fold_simd) {
+          // Element-wise fold in the same ascending chunk order: bitwise
+          // identical to the scalar sweep.
+          detail::deposit_fold_simd(charge, w, copy);
+          continue;
+        }
         for (std::size_t k = 0; k < copy; ++k) {
           charge[k] += w[k];
           w[k] = 0.0;

@@ -1,0 +1,195 @@
+#include "gtc/gtc_simd.hpp"
+
+#include <numbers>
+
+#include "gtc/deposition.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/simd.hpp"
+
+namespace vpar::gtc::detail {
+
+namespace {
+
+using simd::load;
+using simd::splat;
+using simd::store;
+
+/// Width-templated push body over particles [i0, i1), (i1 - i0) % W == 0.
+/// Lanes are particles. The stencil build transposes into [cell][lane]
+/// scratch so the weight arithmetic runs on contiguous vector loads; field
+/// values are gathered lane-by-lane (the portable analogue of the vector
+/// gather the paper's E&M kernels lean on). Each lane accumulates its 32
+/// weighted field terms in exactly the scalar order, so E — and therefore the
+/// drift — is bitwise identical to the reference loop.
+template <std::size_t W>
+VPAR_SIMD_INLINE void push_w(ParticleSet& particles, const TorusGrid& grid,
+                             const double* ex_ghost, const double* ey_ghost,
+                             double dt, double b0, double nx, double ny,
+                             double two_pi, std::size_t i0, std::size_t i1) {
+  using V = simd::vec<W>;
+  DepositStencil st;
+  for (std::size_t g = i0; g < i1; g += W) {
+    double wpl[2][W];
+    const double* fex[2][W];
+    const double* fey[2][W];
+    double wcell_t[16][W];
+    std::size_t cell_t[16][W];
+    for (std::size_t l = 0; l < W; ++l) {
+      const std::size_t i = g + l;
+      compute_stencil(grid, particles.x[i], particles.y[i], particles.zeta[i],
+                      particles.rho[i], st);
+      for (int b = 0; b < 2; ++b) {
+        const bool ghost = st.plane[b] == grid.planes_local();
+        fex[b][l] = ghost ? ex_ghost : grid.ex_plane(st.plane[b]);
+        fey[b][l] = ghost ? ey_ghost : grid.ey_plane(st.plane[b]);
+        wpl[b][l] = st.wplane[b];
+      }
+      for (int c = 0; c < 16; ++c) {
+        wcell_t[c][l] = st.wcell[c];
+        cell_t[c][l] = st.cell[c];
+      }
+    }
+
+    V ex = splat<W>(0.0), ey = splat<W>(0.0);
+    for (int b = 0; b < 2; ++b) {
+      const V w = load<W>(wpl[b]);
+      for (int c = 0; c < 16; ++c) {
+        const V wc = w * load<W>(wcell_t[c]);
+        double gx[W], gy[W];
+        for (std::size_t l = 0; l < W; ++l) {
+          gx[l] = fex[b][l][cell_t[c][l]];
+          gy[l] = fey[b][l][cell_t[c][l]];
+        }
+        ex = ex + wc * load<W>(gx);
+        ey = ey + wc * load<W>(gy);
+      }
+    }
+
+    double exs[W], eys[W];
+    store<W>(exs, ex);
+    store<W>(eys, ey);
+    for (std::size_t l = 0; l < W; ++l) {
+      const std::size_t i = g + l;
+      particles.x[i] = wrap_periodic(particles.x[i] + dt * eys[l] / b0, nx);
+      particles.y[i] = wrap_periodic(particles.y[i] - dt * exs[l] / b0, ny);
+      particles.zeta[i] =
+          wrap_periodic(particles.zeta[i] + dt * particles.vpar[i], two_pi);
+    }
+  }
+}
+
+template <std::size_t W>
+VPAR_SIMD_INLINE void push_span_w(ParticleSet& particles, const TorusGrid& grid,
+                                  const double* ex_ghost,
+                                  const double* ey_ghost, double dt, double b0,
+                                  double nx, double ny, double two_pi,
+                                  std::size_t lo, std::size_t hi) {
+  const std::size_t nv = lo + (hi - lo) / W * W;
+  push_w<W>(particles, grid, ex_ghost, ey_ghost, dt, b0, nx, ny, two_pi, lo, nv);
+  push_w<1>(particles, grid, ex_ghost, ey_ghost, dt, b0, nx, ny, two_pi, nv, hi);
+}
+
+#if VPAR_SIMD_CLONE_AVX
+__attribute__((noinline, target("avx"))) void push_v4(
+    ParticleSet& particles, const TorusGrid& grid, const double* ex_ghost,
+    const double* ey_ghost, double dt, double b0, double nx, double ny,
+    double two_pi, std::size_t lo, std::size_t hi) {
+  push_span_w<4>(particles, grid, ex_ghost, ey_ghost, dt, b0, nx, ny, two_pi,
+                 lo, hi);
+}
+#endif
+#if VPAR_SIMD_CLONE_AVX512
+__attribute__((noinline, target("avx512f"))) void push_v8(
+    ParticleSet& particles, const TorusGrid& grid, const double* ex_ghost,
+    const double* ey_ghost, double dt, double b0, double nx, double ny,
+    double two_pi, std::size_t lo, std::size_t hi) {
+  push_span_w<8>(particles, grid, ex_ghost, ey_ghost, dt, b0, nx, ny, two_pi,
+                 lo, hi);
+}
+#endif
+
+/// Width-templated fold body over [i0, i1), (i1 - i0) % W == 0.
+template <std::size_t W>
+VPAR_SIMD_INLINE void fold_w(double* __restrict charge, double* __restrict w,
+                             std::size_t i0, std::size_t i1) {
+  for (std::size_t i = i0; i < i1; i += W) {
+    store<W>(charge + i, load<W>(charge + i) + load<W>(w + i));
+    store<W>(w + i, splat<W>(0.0));
+  }
+}
+
+template <std::size_t W>
+VPAR_SIMD_INLINE void fold_span_w(double* charge, double* w, std::size_t n) {
+  const std::size_t nv = n / W * W;
+  fold_w<W>(charge, w, 0, nv);
+  fold_w<1>(charge, w, nv, n);
+}
+
+#if VPAR_SIMD_CLONE_AVX
+__attribute__((noinline, target("avx"))) void fold_v4(double* charge,
+                                                      double* w,
+                                                      std::size_t n) {
+  fold_span_w<4>(charge, w, n);
+}
+#endif
+#if VPAR_SIMD_CLONE_AVX512
+__attribute__((noinline, target("avx512f"))) void fold_v8(double* charge,
+                                                          double* w,
+                                                          std::size_t n) {
+  fold_span_w<8>(charge, w, n);
+}
+#endif
+
+}  // namespace
+
+void gather_push_span_simd(ParticleSet& particles, const TorusGrid& grid,
+                           const double* ex_ghost, const double* ey_ghost,
+                           double dt, double b0, std::size_t lo,
+                           std::size_t hi) {
+  const double two_pi = 2.0 * std::numbers::pi;
+  const double nx = static_cast<double>(grid.ngx());
+  const double ny = static_cast<double>(grid.ngy());
+  const std::size_t w = simd::active_width();
+  switch (w) {
+#if VPAR_SIMD_CLONE_AVX512
+    case 8:
+      push_v8(particles, grid, ex_ghost, ey_ghost, dt, b0, nx, ny, two_pi, lo, hi);
+      break;
+#endif
+#if VPAR_SIMD_CLONE_AVX
+    case 4:
+      push_v4(particles, grid, ex_ghost, ey_ghost, dt, b0, nx, ny, two_pi, lo, hi);
+      break;
+#endif
+#if VPAR_SIMD_HAVE_VEC
+    case 2:
+      push_span_w<2>(particles, grid, ex_ghost, ey_ghost, dt, b0, nx, ny,
+                     two_pi, lo, hi);
+      break;
+#endif
+    default:
+      push_span_w<1>(particles, grid, ex_ghost, ey_ghost, dt, b0, nx, ny,
+                     two_pi, lo, hi);
+      break;
+  }
+  simd::record_span(w, (hi - lo) / w, (hi - lo) % w);
+}
+
+void deposit_fold_simd(double* charge, double* w, std::size_t n) {
+  const std::size_t width = simd::active_width();
+  switch (width) {
+#if VPAR_SIMD_CLONE_AVX512
+    case 8: fold_v8(charge, w, n); break;
+#endif
+#if VPAR_SIMD_CLONE_AVX
+    case 4: fold_v4(charge, w, n); break;
+#endif
+#if VPAR_SIMD_HAVE_VEC
+    case 2: fold_span_w<2>(charge, w, n); break;
+#endif
+    default: fold_span_w<1>(charge, w, n); break;
+  }
+  simd::record_span(width, n / width, n % width);
+}
+
+}  // namespace vpar::gtc::detail

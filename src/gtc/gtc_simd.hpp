@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstddef>
+
+#include "gtc/particles.hpp"
+#include "gtc/torus_grid.hpp"
+
+namespace vpar::gtc::detail {
+
+/// SIMD gather-push for particles [lo, hi): W particles per strip, the
+/// per-lane gather-accumulate preserving the scalar per-cell accumulation
+/// order (bitwise identical E values and drifts), stencil computation and the
+/// periodic-wrap drift staying scalar per lane. Safe to call from
+/// parallel_for span callbacks (writes only slots [lo, hi)).
+void gather_push_span_simd(ParticleSet& particles, const TorusGrid& grid,
+                           const double* ex_ghost, const double* ey_ghost,
+                           double dt, double b0, std::size_t lo,
+                           std::size_t hi);
+
+/// SIMD charge-fold sweep: charge[k] += w[k]; w[k] = 0 for k in [0, n) —
+/// element-wise, so bitwise identical to the scalar loop. Used by the
+/// WorkVector and Hybrid deposit reductions.
+void deposit_fold_simd(double* charge, double* w, std::size_t n);
+
+}  // namespace vpar::gtc::detail

@@ -5,7 +5,9 @@
 #include <stdexcept>
 
 #include "gtc/deposition.hpp"
+#include "gtc/gtc_simd.hpp"
 #include "perf/recorder.hpp"
+#include "simd/dispatch.hpp"
 #include "simrt/parallel.hpp"
 
 namespace vpar::gtc {
@@ -31,6 +33,13 @@ void gather_push(ParticleSet& particles, const TorusGrid& grid,
   // particle loop splits across idle pool workers bitwise-safely; the stencil
   // scratch is per-chunk so serving threads never share it.
   simrt::parallel_for(0, n, 0, [&](std::size_t lo, std::size_t hi) {
+    // Runtime dispatch: the SIMD span kernel accumulates each particle's 32
+    // field terms in the scalar order (bitwise identical E and drift).
+    if (simd::use_simd()) {
+      detail::gather_push_span_simd(particles, grid, ex_ghost.data(),
+                                    ey_ghost.data(), dt, b0, lo, hi);
+      return;
+    }
     DepositStencil st;
     for (std::size_t i = lo; i < hi; ++i) {
       compute_stencil(grid, particles.x[i], particles.y[i], particles.zeta[i],

@@ -2,7 +2,9 @@
 
 #include <array>
 
+#include "lbmhd/collision_simd.hpp"
 #include "perf/recorder.hpp"
+#include "simd/dispatch.hpp"
 #include "simrt/parallel.hpp"
 
 namespace vpar::lbmhd {
@@ -146,6 +148,19 @@ PlanePointers plane_pointers(FieldSet& fields) {
 
 inline void collide_span(const PlanePointers& p, std::size_t offset,
                          std::size_t n, double omega_f, double omega_g) {
+  // Runtime dispatch: the SIMD row kernel executes the same operation order
+  // per lane (bitwise identical); the scalar reference path below stays the
+  // default when the build or the dispatch mode says so.
+  if (simd::use_simd()) {
+    detail::RowPointers rp;
+    for (std::size_t d = 0; d < 9; ++d) {
+      rp.f[d] = p.f[d] + offset;
+      rp.gx[d] = p.gx[d] + offset;
+      rp.gy[d] = p.gy[d] + offset;
+    }
+    detail::collide_row_simd(rp, n, omega_f, omega_g);
+    return;
+  }
   collide_row(p.f[0] + offset, p.f[1] + offset, p.f[2] + offset,
               p.f[3] + offset, p.f[4] + offset, p.f[5] + offset,
               p.f[6] + offset, p.f[7] + offset, p.f[8] + offset,

@@ -41,6 +41,22 @@ TEST(Platform, TableOneValues) {
   EXPECT_THROW(platform_by_name("Cray-2"), std::runtime_error);
 }
 
+TEST(Platform, Host2026IsCalibratedButOffTable) {
+  // The calibrated host platform must stay out of the Table 1 set (the
+  // paper-table benches iterate exactly five systems) yet resolve by name.
+  EXPECT_EQ(all_platforms().size(), 5u);
+  const auto& h = platform_by_name("Host2026");
+  EXPECT_TRUE(h.is_vector);
+  EXPECT_EQ(h.vector_length, 8u);  // AVX-512 doubles vs 256 (ES) / 64 (X1)
+  EXPECT_DOUBLE_EQ(h.peak_gflops, 33.6);
+  EXPECT_GT(h.scalar_gflops, 0.0);
+  // Short pipelines: half performance within a couple of hardware vectors,
+  // far below the deep-pipe ES/X1 n_1/2 values.
+  EXPECT_LT(h.vector_n_half, earth_simulator().vector_n_half);
+  EXPECT_GT(h.vector_compute_eff, 0.0);
+  EXPECT_LE(h.vector_compute_eff, 1.0);
+}
+
 TEST(Platform, VectorScalarRatios) {
   // Both machines have an 8:1 vector:scalar ratio; the X1's serialized rate
   // is 1/32 of MSP peak (one SSP scalar unit of four).
