@@ -1,20 +1,21 @@
 #include "simrt/arena.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "simrt/fault.hpp"
+#include "trace/metrics.hpp"
 
 namespace vpar::simrt {
 
 namespace {
 
-/// Per-thread front cache in front of the shared free lists. The messaging
-/// hot paths (halo ping-pong, alltoall fragments) release a block on the
-/// same thread that will acquire the next one of that size, so most
-/// traffic never touches the arena mutex — matching the lock-free fast
-/// path of a malloc thread cache, which the mutex-only arena measurably
-/// lost to under 8-rank alltoall load.
-constexpr std::size_t kThreadCacheBytesPerClass = std::size_t{256} << 10;
+/// Historical per-class caps, now the fixed default of the policy layer:
+/// ~8 MiB shared (at least 4 blocks) so a burst of large transposes cannot
+/// pin unbounded memory, 256 KiB per-thread front cache (at least 2 blocks)
+/// so the messaging hot paths skip the arena mutex.
+constexpr std::size_t kDefaultSharedBytesPerClass = std::size_t{8} << 20;
+constexpr std::size_t kDefaultThreadCacheBytesPerClass = std::size_t{256} << 10;
 
 struct ThreadCache {
   std::vector<std::byte*> lists[BufferArena::kNumClasses];
@@ -54,11 +55,30 @@ ThreadCache* thread_cache() {
   return t_cache;
 }
 
-std::size_t thread_cache_cap(std::size_t capacity) {
-  return std::max<std::size_t>(2, kThreadCacheBytesPerClass / capacity);
+trace::Counter& resize_meter() {
+  static trace::Counter& c = trace::Metrics::instance().counter("arena.resize");
+  return c;
 }
 
 }  // namespace
+
+ArenaPolicy ArenaPolicy::fixed_default() {
+  ArenaPolicy p;
+  p.shared_cap_bytes.fill(kDefaultSharedBytesPerClass);
+  p.thread_cap_bytes.fill(kDefaultThreadCacheBytesPerClass);
+  p.warm_bytes.fill(0);
+  p.provenance = "fixed";
+  return p;
+}
+
+BufferArena::BufferArena() : policy_(ArenaPolicy::fixed_default()) {
+  for (int cls = 0; cls < kNumClasses; ++cls) {
+    shared_cap_[cls].store(policy_.shared_cap_bytes[static_cast<std::size_t>(cls)],
+                           std::memory_order_relaxed);
+    thread_cap_[cls].store(policy_.thread_cap_bytes[static_cast<std::size_t>(cls)],
+                           std::memory_order_relaxed);
+  }
+}
 
 BufferArena& BufferArena::instance() {
   static BufferArena* arena = new BufferArena;  // leaked: see class comment
@@ -113,7 +133,9 @@ void BufferArena::release(const ArenaBlock& block) {
   }
   if (ThreadCache* tc = thread_cache(); tc != nullptr) {
     auto& list = tc->lists[block.cls];
-    if (list.size() < thread_cache_cap(block.capacity)) {
+    const std::size_t cap = std::max<std::size_t>(
+        2, thread_cap_[block.cls].load(std::memory_order_relaxed) / block.capacity);
+    if (list.size() < cap) {
       list.push_back(block.data);
       return;
     }
@@ -121,8 +143,8 @@ void BufferArena::release(const ArenaBlock& block) {
   {
     std::lock_guard lock(mutex_);
     auto& list = free_lists_[block.cls];
-    const std::size_t cap =
-        std::max<std::size_t>(4, kMaxCachedBytesPerClass / block.capacity);
+    const std::size_t cap = std::max<std::size_t>(
+        4, shared_cap_[block.cls].load(std::memory_order_relaxed) / block.capacity);
     if (list.size() < cap) {
       list.push_back(block.data);
       return;
@@ -138,6 +160,64 @@ std::size_t BufferArena::cached_bytes() {
     total += free_lists_[cls].size() * (kMinClassBytes << cls);
   }
   return total;
+}
+
+bool BufferArena::set_policy(const ArenaPolicy& policy) {
+  bool changed = false;
+  {
+    std::lock_guard lock(mutex_);
+    changed = !policy_.same_limits(policy);
+    policy_ = policy;
+    for (int cls = 0; cls < kNumClasses; ++cls) {
+      const auto c = static_cast<std::size_t>(cls);
+      shared_cap_[cls].store(policy.shared_cap_bytes[c], std::memory_order_relaxed);
+      thread_cap_[cls].store(policy.thread_cap_bytes[c], std::memory_order_relaxed);
+      const std::size_t capacity = kMinClassBytes << cls;
+      const std::size_t cap_blocks =
+          std::max<std::size_t>(4, policy.shared_cap_bytes[c] / capacity);
+      auto& list = free_lists_[cls];
+      while (list.size() > cap_blocks) {
+        delete[] list.back();
+        list.pop_back();
+      }
+    }
+  }
+  if (changed) {
+    policy_epoch_.fetch_add(1, std::memory_order_relaxed);
+    resize_meter().add(1);
+  }
+  return changed;
+}
+
+ArenaPolicy BufferArena::policy() {
+  std::lock_guard lock(mutex_);
+  return policy_;
+}
+
+std::size_t BufferArena::warm_thread_cache() {
+  ThreadCache* tc = thread_cache();
+  if (tc == nullptr) return 0;
+  const ArenaPolicy p = policy();
+  std::size_t touched = 0;
+  for (int cls = 0; cls < kNumClasses; ++cls) {
+    const auto c = static_cast<std::size_t>(cls);
+    if (p.warm_bytes[c] == 0) continue;
+    const std::size_t capacity = kMinClassBytes << cls;
+    const std::size_t cache_cap = std::max<std::size_t>(
+        2, thread_cap_[cls].load(std::memory_order_relaxed) / capacity);
+    const std::size_t want =
+        std::min(p.warm_bytes[c] / capacity, cache_cap);
+    auto& list = tc->lists[cls];
+    while (list.size() < want) {
+      // Fresh allocation + zeroing on this thread: under first-touch NUMA
+      // placement the pages now belong to this worker's node.
+      std::byte* data = new std::byte[capacity];
+      std::memset(data, 0, capacity);
+      list.push_back(data);
+      touched += capacity;
+    }
+  }
+  return touched;
 }
 
 }  // namespace vpar::simrt

@@ -1,0 +1,278 @@
+#include "simrt/arena_policy.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "trace/metrics.hpp"
+
+namespace vpar::simrt {
+
+namespace {
+
+bool env_adaptive() {
+  const char* s = std::getenv("VPAR_ARENA");
+  if (s == nullptr) return true;
+  const std::string v(s);
+  if (v == "fixed" || v == "off" || v == "0") return false;
+  return true;  // "adaptive" and anything else: default on
+}
+
+std::atomic<bool> g_adaptive{env_adaptive()};
+
+/// Controller state: the cumulative histogram snapshot of the last refresh
+/// and the recency-weighted traffic profile. One mutex — refreshes are
+/// per-job, not per-message.
+struct Controller {
+  std::mutex mutex;
+  ArenaClassOps last_cumulative{};
+  ArenaClassOps profile{};
+};
+
+Controller& controller() {
+  static Controller* c = new Controller();  // leaked with the arena it feeds
+  return *c;
+}
+
+trace::Histogram& bytes_per_op_histogram() {
+  static trace::Histogram& h =
+      trace::Metrics::instance().histogram("comm.bytes_per_op");
+  return h;
+}
+
+std::size_t next_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// VPAR_ARENA_PROFILE: optional sidecar path. Loaded once on first controller
+/// use, saved at process exit, so repeated bench/test invocations warm-start
+/// from the previous process's traffic shape.
+void ensure_profile_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* path = std::getenv("VPAR_ARENA_PROFILE");
+    if (path == nullptr || path[0] == '\0') return;
+    load_arena_profile(path);  // missing file on the first run is fine
+    static std::string save_path = path;
+    std::atexit([] { save_arena_profile(save_path); });
+  });
+}
+
+// --- minimal JSON sidecar I/O ----------------------------------------------
+// The sidecar is machine-written with a fixed schema; the reader only needs
+// to locate named arrays of integers and one string field, so a targeted
+// scanner beats dragging in a JSON dependency.
+
+void write_array(std::ostream& out, const char* name,
+                 const std::array<std::uint64_t, kArenaNumClasses>& values,
+                 bool trailing_comma) {
+  out << "  \"" << name << "\": [";
+  for (int i = 0; i < kArenaNumClasses; ++i) {
+    if (i > 0) out << ", ";
+    out << values[static_cast<std::size_t>(i)];
+  }
+  out << "]" << (trailing_comma ? "," : "") << "\n";
+}
+
+bool parse_array(const std::string& text, const std::string& name,
+                 std::array<std::uint64_t, kArenaNumClasses>& out) {
+  const std::string key = "\"" + name + "\"";
+  std::size_t pos = text.find(key);
+  if (pos == std::string::npos) return false;
+  pos = text.find('[', pos);
+  if (pos == std::string::npos) return false;
+  const std::size_t end = text.find(']', pos);
+  if (end == std::string::npos) return false;
+  std::stringstream ss(text.substr(pos + 1, end - pos - 1));
+  std::string item;
+  int n = 0;
+  while (std::getline(ss, item, ',')) {
+    if (n >= kArenaNumClasses) return false;
+    try {
+      out[static_cast<std::size_t>(n)] = std::stoull(item);
+    } catch (...) {
+      return false;
+    }
+    ++n;
+  }
+  return n == kArenaNumClasses;
+}
+
+}  // namespace
+
+ArenaClassOps class_ops_from_histogram(const trace::Histogram& bytes_per_op) {
+  ArenaClassOps ops{};
+  // Bucket b counts ops of [2^(b-1), 2^b) bytes; buckets 0..6 (<= 63 B plus
+  // the zero bucket) are inline-payload territory and never hit the arena.
+  for (std::size_t b = 7; b < trace::Histogram::kBuckets; ++b) {
+    const std::size_t cls =
+        std::min<std::size_t>(b - 6, kArenaNumClasses - 1);
+    ops[cls] += bytes_per_op.bucket(b);
+  }
+  return ops;
+}
+
+ArenaPolicy arena_policy_from_traffic(const ArenaClassOps& ops,
+                                      const ArenaLimits& limits) {
+  ArenaPolicy p;
+  p.provenance = "adaptive";
+  for (int cls = 0; cls < kArenaNumClasses; ++cls) {
+    const auto c = static_cast<std::size_t>(cls);
+    const std::size_t capacity = kArenaMinClassBytes << cls;
+    const std::size_t floor_bytes = limits.min_blocks * capacity;
+    if (ops[c] == 0) {
+      p.shared_cap_bytes[c] = floor_bytes;
+      p.thread_cap_bytes[c] = floor_bytes;
+      p.warm_bytes[c] = 0;
+      continue;
+    }
+    // ~sqrt(ops) cached blocks: scales with sustained traffic but not with
+    // total volume — an exchange round's in-flight population, not history.
+    const auto root = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(ops[c]))));
+    const std::size_t max_blocks =
+        std::max<std::size_t>(limits.min_blocks, limits.max_shared_per_class / capacity);
+    const std::size_t blocks =
+        std::clamp(next_pow2(root), limits.min_blocks, max_blocks);
+    p.shared_cap_bytes[c] = blocks * capacity;
+    p.thread_cap_bytes[c] =
+        std::max(floor_bytes,
+                 std::min(limits.hot_thread_cache_bytes, p.shared_cap_bytes[c]));
+    // Up to 4 blocks, bounded by the warm and thread-cache limits; classes
+    // whose single block would already bust the limit are not warmed.
+    const std::size_t warm = std::min(
+        {limits.max_warm_bytes_per_class, p.thread_cap_bytes[c], 4 * capacity});
+    p.warm_bytes[c] = warm >= capacity ? warm : 0;
+  }
+  // Total budget: halve the largest still-shrinkable class until the shared
+  // caps fit (a class whose next halving would dip under its floor is passed
+  // over, not a reason to stop). The floors bound the loop, and their sum is
+  // far below any sane budget.
+  for (;;) {
+    std::size_t total = 0;
+    for (const std::size_t v : p.shared_cap_bytes) total += v;
+    if (total <= limits.total_shared_budget) break;
+    std::size_t best = kArenaNumClasses;
+    for (std::size_t c = 0; c < kArenaNumClasses; ++c) {
+      const std::size_t floor_bytes = limits.min_blocks * (kArenaMinClassBytes << c);
+      if (p.shared_cap_bytes[c] / 2 < floor_bytes) continue;
+      if (best == kArenaNumClasses ||
+          p.shared_cap_bytes[c] > p.shared_cap_bytes[best]) {
+        best = c;
+      }
+    }
+    if (best == kArenaNumClasses) break;  // every class is at its floor
+    p.shared_cap_bytes[best] /= 2;
+  }
+  return p;
+}
+
+void set_arena_adaptation(bool enabled) {
+  g_adaptive.store(enabled, std::memory_order_relaxed);
+}
+
+bool arena_adaptation() { return g_adaptive.load(std::memory_order_relaxed); }
+
+bool refresh_arena_policy() {
+  ensure_profile_env();
+  Controller& ctl = controller();
+  ArenaPolicy policy;
+  {
+    std::lock_guard lock(ctl.mutex);
+    const ArenaClassOps cumulative = class_ops_from_histogram(bytes_per_op_histogram());
+    ArenaClassOps window{};
+    bool any = false;
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      window[i] = cumulative[i] - ctl.last_cumulative[i];
+      if (window[i] != 0) any = true;
+    }
+    ctl.last_cumulative = cumulative;
+    // Idle windows (compute-only jobs) neither decay nor grow the profile:
+    // the learned traffic shape survives until new traffic revises it.
+    if (!any) return false;
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      // Half-life of one refresh: the profile tracks the recent traffic mix
+      // without flapping on a single small job.
+      ctl.profile[i] = ctl.profile[i] / 2 + window[i];
+    }
+    policy = arena_policy_from_traffic(ctl.profile);
+  }
+  return BufferArena::instance().set_policy(policy);
+}
+
+void arena_policy_end_of_job() {
+  if (arena_adaptation()) refresh_arena_policy();
+}
+
+bool save_arena_profile(const std::string& path) {
+  ArenaClassOps profile;
+  {
+    Controller& ctl = controller();
+    std::lock_guard lock(ctl.mutex);
+    profile = ctl.profile;
+  }
+  const ArenaPolicy policy = BufferArena::instance().policy();
+  std::ofstream out(path);
+  if (!out) return false;
+  auto as_u64 = [](const std::array<std::size_t, kArenaNumClasses>& in) {
+    std::array<std::uint64_t, kArenaNumClasses> v{};
+    for (int i = 0; i < kArenaNumClasses; ++i) {
+      v[static_cast<std::size_t>(i)] = in[static_cast<std::size_t>(i)];
+    }
+    return v;
+  };
+  out << "{\n";
+  out << "  \"schema\": \"vpar-arena-profile-v1\",\n";
+  out << "  \"provenance\": \"" << policy.provenance << "\",\n";
+  write_array(out, "class_ops", profile, true);
+  write_array(out, "shared_cap_bytes", as_u64(policy.shared_cap_bytes), true);
+  write_array(out, "thread_cap_bytes", as_u64(policy.thread_cap_bytes), true);
+  write_array(out, "warm_bytes", as_u64(policy.warm_bytes), false);
+  out << "}\n";
+  return static_cast<bool>(out);
+}
+
+bool load_arena_profile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  if (text.find("\"vpar-arena-profile-v1\"") == std::string::npos) return false;
+
+  ArenaClassOps ops{};
+  std::array<std::uint64_t, kArenaNumClasses> shared{};
+  std::array<std::uint64_t, kArenaNumClasses> thread{};
+  std::array<std::uint64_t, kArenaNumClasses> warm{};
+  if (!parse_array(text, "class_ops", ops) ||
+      !parse_array(text, "shared_cap_bytes", shared) ||
+      !parse_array(text, "thread_cap_bytes", thread) ||
+      !parse_array(text, "warm_bytes", warm)) {
+    return false;
+  }
+
+  ArenaPolicy policy;
+  policy.provenance = "adaptive";
+  for (int i = 0; i < kArenaNumClasses; ++i) {
+    const auto c = static_cast<std::size_t>(i);
+    policy.shared_cap_bytes[c] = static_cast<std::size_t>(shared[c]);
+    policy.thread_cap_bytes[c] = static_cast<std::size_t>(thread[c]);
+    policy.warm_bytes[c] = static_cast<std::size_t>(warm[c]);
+  }
+  {
+    Controller& ctl = controller();
+    std::lock_guard lock(ctl.mutex);
+    ctl.profile = ops;
+  }
+  BufferArena::instance().set_policy(policy);
+  return true;
+}
+
+}  // namespace vpar::simrt

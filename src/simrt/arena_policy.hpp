@@ -1,0 +1,83 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "simrt/arena.hpp"
+
+namespace vpar::trace {
+class Histogram;
+}
+
+namespace vpar::simrt {
+
+/// Per-size-class operation counts — the traffic profile the adaptive arena
+/// policy is derived from.
+using ArenaClassOps = std::array<std::uint64_t, kArenaNumClasses>;
+
+/// Tunables of arena_policy_from_traffic.
+struct ArenaLimits {
+  /// Floor on cached blocks per class, hot or cold.
+  std::size_t min_blocks = 2;
+  /// Ceiling on one class's shared cache.
+  std::size_t max_shared_per_class = std::size_t{16} << 20;  // 16 MiB
+  /// Ceiling on the sum of all shared caches.
+  std::size_t total_shared_budget = std::size_t{64} << 20;  // 64 MiB
+  /// Thread front-cache bytes granted to classes with traffic (the fixed
+  /// default's value, so hot classes lose nothing).
+  std::size_t hot_thread_cache_bytes = std::size_t{256} << 10;  // 256 KiB
+  /// First-touch warm target per hot class (per worker thread).
+  std::size_t max_warm_bytes_per_class = std::size_t{128} << 10;  // 128 KiB
+};
+
+/// Map a comm.bytes_per_op histogram (log2 buckets of per-operation byte
+/// counts) onto arena size classes: bucket b covers [2^(b-1), 2^b), which a
+/// 64 B-based class ladder serves from class min(b-6, 16). Buckets at or
+/// below 64 B are skipped — those payloads are stored inline and never touch
+/// the arena. Exact powers of two land one class high; the policy only
+/// sizes caches, so the bias is harmless.
+[[nodiscard]] ArenaClassOps class_ops_from_histogram(
+    const trace::Histogram& bytes_per_op);
+
+/// Derive caching limits from a traffic profile. Pure and deterministic —
+/// the unit-testable core of the adaptive controller:
+///  - cold classes (zero ops) shrink to the min_blocks floor with no thread
+///    cache beyond the floor and no warm target;
+///  - hot classes get a shared cache of ~sqrt(ops) blocks (power-of-two
+///    quantized: enough to absorb an exchange round's worth of in-flight
+///    blocks without caching every block ever seen), clamped to
+///    max_shared_per_class, plus the full hot thread cache and a first-touch
+///    warm target;
+///  - if the shared caps sum past total_shared_budget, the largest class is
+///    halved (never below the floor) until they fit.
+[[nodiscard]] ArenaPolicy arena_policy_from_traffic(const ArenaClassOps& ops,
+                                                    const ArenaLimits& limits = {});
+
+/// Enable/disable the adaptive controller (VPAR_ARENA=fixed|adaptive seeds
+/// it; adaptive is the default). When disabled the arena keeps whatever
+/// policy is installed.
+void set_arena_adaptation(bool enabled);
+[[nodiscard]] bool arena_adaptation();
+
+/// One adaptation step: fold the comm.bytes_per_op traffic since the last
+/// refresh into the recency-weighted profile (half-life of one refresh) and
+/// install the derived policy. No-ops on an idle window. Returns true when
+/// the installed limits materially changed (which bumps arena.resize).
+bool refresh_arena_policy();
+
+/// Executor end-of-job hook: refresh_arena_policy() when adaptation is on.
+void arena_policy_end_of_job();
+
+/// Persist the adaptive profile + active policy to a small JSON sidecar, so
+/// the next process warm-starts with traffic-shaped caps instead of
+/// relearning them. Returns false (leaving no partial file behind) on I/O
+/// failure.
+bool save_arena_profile(const std::string& path);
+
+/// Load a sidecar written by save_arena_profile: installs its policy and
+/// seeds the adaptive profile with its traffic counts. Returns false on a
+/// missing, malformed or wrong-schema file — the active policy is untouched.
+bool load_arena_profile(const std::string& path);
+
+}  // namespace vpar::simrt

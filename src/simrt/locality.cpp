@@ -1,0 +1,213 @@
+// pthread_setaffinity_np and CPU_SET are glibc extensions; the build sets
+// CMAKE_CXX_EXTENSIONS OFF, so _GNU_SOURCE must be defined by hand before
+// any header is pulled in.
+#ifndef _GNU_SOURCE
+#define _GNU_SOURCE
+#endif
+
+#include "simrt/locality.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+#include "arch/topology.hpp"
+#include "simrt/arena.hpp"
+#include "trace/metrics.hpp"
+
+namespace vpar::simrt {
+
+namespace {
+
+struct Meters {
+  trace::Counter& pins = trace::Metrics::instance().counter("locality.pins");
+  trace::Counter& pin_skipped =
+      trace::Metrics::instance().counter("locality.pin_skipped");
+  trace::Counter& first_touch_bytes =
+      trace::Metrics::instance().counter("locality.first_touch_bytes");
+  trace::Counter& node_local_chunks =
+      trace::Metrics::instance().counter("locality.node_local_chunks");
+  trace::Counter& remote_chunks =
+      trace::Metrics::instance().counter("locality.remote_chunks");
+};
+
+Meters& meters() {
+  static Meters* m = new Meters();  // leaked with the registry it points into
+  return *m;
+}
+
+AffinityMode env_affinity_mode() {
+  const char* s = std::getenv("VPAR_AFFINITY");
+  if (s == nullptr) return AffinityMode::Off;
+  const std::string v(s);
+  if (v == "off" || v == "0" || v.empty()) return AffinityMode::Off;
+  if (v == "compact") return AffinityMode::Compact;
+  if (v == "scatter") return AffinityMode::Scatter;
+  std::fprintf(stderr,
+               "simrt: unknown VPAR_AFFINITY mode '%s' (expected "
+               "off|compact|scatter); affinity stays off\n",
+               s);
+  return AffinityMode::Off;
+}
+
+/// Relaxed atomics: mode flips are bench/test-scoped policy changes, not
+/// synchronization points; workers observe them at the next job pickup.
+std::atomic<AffinityMode> g_mode{env_affinity_mode()};
+std::atomic<std::uint64_t> g_epoch{1};
+
+/// Whether the calling thread currently holds a narrowed cpu mask (so mode
+/// Off knows to widen it back out rather than re-issue syscalls forever).
+thread_local bool t_pinned = false;
+thread_local int t_node = -1;
+
+/// Pin orders are pure functions of the immutable host topology; computed
+/// once per process.
+const std::vector<int>& pin_order(AffinityMode mode) {
+  static const std::vector<int> compact = arch::host_topology().pin_order_compact();
+  static const std::vector<int> scatter = arch::host_topology().pin_order_scatter();
+  static const std::vector<int> empty;
+  switch (mode) {
+    case AffinityMode::Compact: return compact;
+    case AffinityMode::Scatter: return scatter;
+    case AffinityMode::Off: return empty;
+  }
+  return empty;
+}
+
+#if defined(__linux__)
+bool set_mask_to_cpu(int cpu) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+bool set_mask_to_all() {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (const arch::CpuInfo& c : arch::host_topology().cpus) CPU_SET(c.cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+#else
+bool set_mask_to_cpu(int) { return false; }
+bool set_mask_to_all() { return true; }
+#endif
+
+void unpin_if_pinned() {
+  if (!t_pinned) return;
+  set_mask_to_all();
+  t_pinned = false;
+  t_node = -1;
+}
+
+}  // namespace
+
+AffinityMode affinity_mode() { return g_mode.load(std::memory_order_relaxed); }
+
+void set_affinity_mode(AffinityMode mode) {
+  g_mode.store(mode, std::memory_order_relaxed);
+  g_epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+const char* to_string(AffinityMode mode) {
+  switch (mode) {
+    case AffinityMode::Off: return "off";
+    case AffinityMode::Compact: return "compact";
+    case AffinityMode::Scatter: return "scatter";
+  }
+  return "off";
+}
+
+std::uint64_t affinity_epoch() {
+  return g_epoch.load(std::memory_order_relaxed);
+}
+
+bool pinning_supported() {
+#if defined(__linux__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+int pinnable_slots() { return arch::host_topology().num_cpus(); }
+
+PinResult apply_affinity(int slot) {
+  PinResult result;
+  const AffinityMode mode = affinity_mode();
+  if (mode == AffinityMode::Off) {
+    unpin_if_pinned();
+    return result;
+  }
+  const std::vector<int>& order = pin_order(mode);
+  if (slot < 0 || slot >= static_cast<int>(order.size())) {
+    // Oversubscribed pool (more workers than cpus): extra workers float.
+    meters().pin_skipped.add(1);
+    unpin_if_pinned();
+    return result;
+  }
+  const int cpu = order[static_cast<std::size_t>(slot)];
+  if (!set_mask_to_cpu(cpu)) {
+    meters().pin_skipped.add(1);
+    unpin_if_pinned();
+    return result;
+  }
+  t_pinned = true;
+  t_node = arch::host_topology().node_of(cpu);
+  meters().pins.add(1);
+  result.pinned = true;
+  result.cpu = cpu;
+  result.node = t_node;
+  return result;
+}
+
+int current_node() { return t_node; }
+
+void first_touch(std::span<std::byte> memory) {
+  constexpr std::size_t kPage = 4096;
+  for (std::size_t i = 0; i < memory.size(); i += kPage) {
+    // Value-preserving volatile write: forces the page fault on this thread
+    // without clobbering live data.
+    volatile std::byte* p = &memory[i];
+    *p = memory[i];
+  }
+  count_first_touch(memory.size());
+}
+
+void count_first_touch(std::size_t bytes) {
+  if (bytes > 0) meters().first_touch_bytes.add(bytes);
+}
+
+void count_helper_claim(int owner_node, int helper_node) {
+  if (owner_node >= 0 && helper_node >= 0 && owner_node != helper_node) {
+    meters().remote_chunks.add(1);
+  } else {
+    meters().node_local_chunks.add(1);
+  }
+}
+
+PinResult refresh_worker_locality(int slot) {
+  PinResult result;
+  thread_local std::uint64_t seen_affinity_epoch = 0;
+  const std::uint64_t aff_epoch = affinity_epoch();
+  if (aff_epoch != seen_affinity_epoch) {
+    seen_affinity_epoch = aff_epoch;
+    result = apply_affinity(slot);
+  }
+  thread_local std::uint64_t seen_arena_epoch = 0;
+  const std::uint64_t arena_epoch = BufferArena::instance().policy_epoch();
+  if (arena_epoch != seen_arena_epoch) {
+    seen_arena_epoch = arena_epoch;
+    count_first_touch(BufferArena::instance().warm_thread_cache());
+  }
+  return result;
+}
+
+}  // namespace vpar::simrt

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace vpar::simrt {
+
+/// Worker-placement policy of the pooled executor (VPAR_AFFINITY seeds it):
+///  - Off: workers float wherever the OS scheduler puts them (default).
+///  - Compact: rank i pinned to the i-th cpu of the compact order — fill one
+///    NUMA node's physical cores before the next, SMT siblings last.
+///  - Scatter: rank i pinned to the i-th cpu of the scatter order — physical
+///    cores round-robined across NUMA nodes for maximum memory bandwidth.
+enum class AffinityMode { Off, Compact, Scatter };
+
+/// Current process-wide affinity mode. Seeded from VPAR_AFFINITY
+/// (off|compact|scatter; unknown values warn once and mean off).
+[[nodiscard]] AffinityMode affinity_mode();
+
+/// Override the affinity mode (bench A/B probes, tests). Bumps the affinity
+/// epoch, so long-lived pool workers re-apply their placement at the next
+/// job pickup.
+void set_affinity_mode(AffinityMode mode);
+
+[[nodiscard]] const char* to_string(AffinityMode mode);
+
+/// Monotonic epoch incremented by every set_affinity_mode call. Workers
+/// compare it against a thread-local copy to re-apply placement only when
+/// the policy actually changed — steady state pays two relaxed loads per
+/// job, not a syscall.
+[[nodiscard]] std::uint64_t affinity_epoch();
+
+/// True when this build can actually pin threads (Linux). The portable
+/// no-op shim reports pins as skipped instead.
+[[nodiscard]] bool pinning_supported();
+
+/// Worker slots that map to distinct cpus under the host topology (the same
+/// count for compact and scatter — they order the cpus differently but both
+/// use each cpu once). Slots at or beyond this stay unpinned.
+[[nodiscard]] int pinnable_slots();
+
+/// Outcome of apply_affinity for one thread.
+struct PinResult {
+  bool pinned = false;
+  int cpu = -1;
+  int node = -1;
+};
+
+/// Apply the current affinity mode to the calling thread as pin slot `slot`:
+/// pin to the slot's cpu (Compact/Scatter, slot in range), or restore the
+/// full cpu mask (Off, or out-of-range slot — oversubscribed pools degrade
+/// to floating workers, counted in locality.pin_skipped). Updates the
+/// thread's cached NUMA node for same-node chunk preference.
+PinResult apply_affinity(int slot);
+
+/// NUMA node this thread was pinned to, or -1 when unpinned/unknown. Used
+/// by the parallel_for chunk server to prefer same-node work.
+[[nodiscard]] int current_node();
+
+/// Touch every page of `memory` with a value-preserving volatile write so
+/// the pages are faulted in (and, under first-touch NUMA placement, owned)
+/// by the calling thread. Counts locality.first_touch_bytes.
+void first_touch(std::span<std::byte> memory);
+
+/// Record `bytes` of owner-thread first-touch placement done elsewhere
+/// (e.g. container construction on the owning rank's worker).
+void count_first_touch(std::size_t bytes);
+
+/// Count a helper's parallel_for chunk claim as node-local or remote
+/// relative to the loop owner's node (unknown nodes count as local — with
+/// affinity off there is no placement to defeat).
+void count_helper_claim(int owner_node, int helper_node);
+
+/// Epoch-guarded worker-thread refresh, called at job pickup: re-applies
+/// affinity when the mode changed and warms this thread's arena front cache
+/// per the active ArenaPolicy's warm targets (first-touch: the blocks are
+/// freshly allocated and zeroed on this thread). Returns the pin outcome of
+/// the affinity step ({} when nothing changed).
+PinResult refresh_worker_locality(int slot);
+
+}  // namespace vpar::simrt

@@ -30,6 +30,60 @@ Payload Payload::copy_of(std::span<const std::byte> data) {
   return p;
 }
 
+void MessageRing::grow(std::size_t min_capacity) {
+  std::size_t cap = 16;
+  while (cap < min_capacity) cap <<= 1;
+  std::vector<Message> next(cap);
+  for (std::size_t i = 0; i < count_; ++i) next[i] = std::move(slots_[at(i)]);
+  slots_ = std::move(next);
+  head_ = 0;
+}
+
+void MessageRing::reserve(std::size_t n) {
+  if (n > slots_.size()) grow(n);
+}
+
+void MessageRing::insert(std::size_t pos, Message&& msg) {
+  if (count_ == slots_.size()) grow(count_ + 1);
+  const std::size_t mask = slots_.size() - 1;
+  if (pos <= count_ / 2) {
+    // Rotate the shorter front side back one slot.
+    head_ = (head_ + mask) & mask;  // head - 1 mod capacity
+    for (std::size_t i = 0; i < pos; ++i) {
+      slots_[at(i)] = std::move(slots_[at(i + 1)]);
+    }
+  } else {
+    for (std::size_t i = count_; i > pos; --i) {
+      slots_[at(i)] = std::move(slots_[at(i - 1)]);
+    }
+  }
+  slots_[at(pos)] = std::move(msg);
+  ++count_;
+}
+
+Message MessageRing::take(std::size_t pos) {
+  Message msg = std::move(slots_[at(pos)]);
+  if (pos <= count_ / 2) {
+    for (std::size_t i = pos; i > 0; --i) {
+      slots_[at(i)] = std::move(slots_[at(i - 1)]);
+    }
+    head_ = (head_ + 1) & (slots_.size() - 1);
+  } else {
+    for (std::size_t i = pos; i + 1 < count_; ++i) {
+      slots_[at(i)] = std::move(slots_[at(i + 1)]);
+    }
+  }
+  --count_;
+  return msg;
+}
+
+void MessageRing::clear() {
+  // Reset occupied slots to release their payloads; the allocation stays.
+  for (std::size_t i = 0; i < count_; ++i) slots_[at(i)] = Message{};
+  head_ = 0;
+  count_ = 0;
+}
+
 void Mailbox::complete_locked(RequestState& rs, const Message& msg) {
   // The flow lands where the match happens — which for a posted receive is
   // the *sender's* thread (handoff); the event's rank field still tells the
@@ -75,11 +129,11 @@ void Mailbox::deliver(Message msg) {
     // Injected reorder: jump ahead of up to msg.reorder queued messages, but
     // never past one from the same (source, tag) stream — per-stream FIFO is
     // a documented guarantee, chaos or not.
-    auto pos = queue_.end();
-    for (int jump = msg.reorder; jump > 0 && pos != queue_.begin(); --jump) {
-      auto prev = std::prev(pos);
-      if (prev->source == msg.source && prev->tag == msg.tag) break;
-      pos = prev;
+    std::size_t pos = queue_.size();
+    for (int jump = msg.reorder; jump > 0 && pos > 0; --jump) {
+      const Message& prev = queue_[pos - 1];
+      if (prev.source == msg.source && prev.tag == msg.tag) break;
+      --pos;
     }
     queue_.insert(pos, std::move(msg));
   }
@@ -90,12 +144,10 @@ Message Mailbox::receive(int source, int tag, const char* what) {
   std::unique_lock lock(mutex_);
   BlockGuard guard;
   for (;;) {
-    auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
-      return matches(m.source, m.tag, source, tag);
-    });
-    if (it != queue_.end()) {
-      Message msg = std::move(*it);
-      queue_.erase(it);
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      const Message& m = queue_[i];
+      if (!matches(m.source, m.tag, source, tag)) continue;
+      Message msg = queue_.take(i);
       if (msg.trace_id != 0) trace::emit_flow_end("msg", msg.trace_id);
       if (msg.checksummed && fnv1a64(msg.payload.bytes()) != msg.checksum) {
         perf::record_checksum_failure();
@@ -125,24 +177,25 @@ std::shared_ptr<RequestState> Mailbox::post_recv(int source, int tag,
   state->owner = owner_;
 
   std::lock_guard lock(mutex_);
-  auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
-    return matches(m.source, m.tag, source, tag);
-  });
-  if (it != queue_.end()) {
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Message& m = queue_[i];
+    if (!matches(m.source, m.tag, source, tag)) continue;
+    const Message msg = queue_.take(i);
     std::lock_guard state_lock(state->mutex);
-    complete_locked(*state, *it);
-    queue_.erase(it);
-  } else {
-    pending_.push_back(state);
+    complete_locked(*state, msg);
+    return state;
   }
+  pending_.push_back(state);
   return state;
 }
 
 bool Mailbox::probe(int source, int tag) {
   std::lock_guard lock(mutex_);
-  return std::any_of(queue_.begin(), queue_.end(), [&](const Message& m) {
-    return matches(m.source, m.tag, source, tag);
-  });
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Message& m = queue_[i];
+    if (matches(m.source, m.tag, source, tag)) return true;
+  }
+  return false;
 }
 
 Mailbox::Stats Mailbox::stats() {
@@ -169,6 +222,14 @@ void Mailbox::reset() {
   std::lock_guard lock(mutex_);
   queue_.clear();
   pending_.clear();
+}
+
+std::size_t Mailbox::place(std::size_t slots) {
+  std::lock_guard lock(mutex_);
+  const std::size_t before = queue_.capacity();
+  queue_.reserve(slots);
+  const std::size_t grown = queue_.capacity() - before;
+  return grown * sizeof(Message);
 }
 
 }  // namespace vpar::simrt

@@ -133,6 +133,52 @@ struct Message {
   Payload payload;
 };
 
+/// Power-of-two circular buffer of Messages — the mailbox's queue storage.
+/// Two jobs a std::deque cannot do:
+///  - steady-state delivery reuses slots in place (a deque allocates and
+///    frees chunk nodes as the queue breathes), so the messaging hot path
+///    stops touching the allocator entirely;
+///  - the whole ring is one contiguous allocation that reserve() can grow
+///    on the *owning rank's* worker thread, which under first-touch NUMA
+///    placement puts every queue slot on the owner's node.
+/// Middle insert/take (reorder injection, tag-selective receive) shift
+/// whichever side is shorter. Indices are logical: 0 is the oldest message.
+class MessageRing {
+ public:
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  [[nodiscard]] Message& operator[](std::size_t i) { return slots_[at(i)]; }
+  [[nodiscard]] const Message& operator[](std::size_t i) const {
+    return slots_[at(i)];
+  }
+
+  void push_back(Message&& msg) { insert(count_, std::move(msg)); }
+
+  /// Insert before logical position `pos` (0 = front, size() = back).
+  void insert(std::size_t pos, Message&& msg);
+
+  /// Remove and return the message at logical position `pos`.
+  [[nodiscard]] Message take(std::size_t pos);
+
+  /// Grow capacity to at least `n` slots (never shrinks).
+  void reserve(std::size_t n);
+
+  /// Release every queued payload; capacity is retained for reuse.
+  void clear();
+
+ private:
+  [[nodiscard]] std::size_t at(std::size_t i) const {
+    return (head_ + i) & (slots_.size() - 1);
+  }
+  void grow(std::size_t min_capacity);
+
+  std::vector<Message> slots_;  // size is zero or a power of two
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
 /// Per-rank inbound message queue with MPI-style (source, tag) matching and
 /// posted-receive handoff:
 ///  - deliver() first tries the *pending receive list* (receives posted with
@@ -191,6 +237,13 @@ class Mailbox {
   /// well-formed job both containers are already empty.
   void reset();
 
+  /// First-touch placement: reserve at least `slots` ring slots now, on the
+  /// calling thread — the owning rank's worker calls this at job pickup so
+  /// the queue storage's pages fault in on the owner's core/NUMA node
+  /// instead of whichever thread first delivered a message. Returns the
+  /// bytes newly allocated (0 when the ring was already large enough).
+  std::size_t place(std::size_t slots);
+
  private:
   // kAnyTag matches *user* tags only (>= 0); internal collective traffic
   // rides in the negative tag space and must be matched exactly, so a
@@ -206,7 +259,7 @@ class Mailbox {
 
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<Message> queue_;
+  MessageRing queue_;
   std::deque<std::shared_ptr<RequestState>> pending_;
   JobControl* control_ = nullptr;
   int owner_ = 0;

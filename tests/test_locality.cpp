@@ -1,0 +1,462 @@
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "arch/topology.hpp"
+#include "lbmhd/simulation.hpp"
+#include "simrt/arena.hpp"
+#include "simrt/arena_policy.hpp"
+#include "simrt/locality.hpp"
+#include "simrt/mailbox.hpp"
+#include "simrt/runtime.hpp"
+#include "trace/metrics.hpp"
+
+namespace vpar::simrt {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::uint64_t counter_value(const char* name) {
+  return trace::Metrics::instance().counter(name).value();
+}
+
+/// Forces an affinity mode for one test and restores the previous one (and
+/// the calling thread's full cpu mask) on exit — the suite's other tests
+/// must not inherit a narrowed mask.
+struct AffinityGuard {
+  AffinityMode previous = affinity_mode();
+  explicit AffinityGuard(AffinityMode mode) { set_affinity_mode(mode); }
+  ~AffinityGuard() {
+    set_affinity_mode(AffinityMode::Off);
+    apply_affinity(0);  // widens the mask back out
+    set_affinity_mode(previous);
+  }
+};
+
+/// Grow the shared pool so smaller jobs recycle long-lived workers.
+void warm_pool() {
+  run(8, [](Communicator&) {});
+}
+
+// --- topology probe ----------------------------------------------------------
+
+/// Builds a synthetic sysfs tree under a temp dir; probe_topology takes the
+/// root so tests never depend on the host's real /sys.
+class SysfsTree {
+ public:
+  SysfsTree() {
+    root_ = fs::temp_directory_path() /
+            ("vpar_locality_sysfs_" + std::to_string(::getpid()));
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  ~SysfsTree() { fs::remove_all(root_); }
+
+  void write(const std::string& rel, const std::string& content) {
+    const fs::path path = root_ / rel;
+    fs::create_directories(path.parent_path());
+    std::ofstream out(path);
+    out << content << "\n";
+  }
+
+  void add_cpu(int cpu, int package, int core, const std::string& siblings) {
+    const std::string base = "devices/system/cpu/cpu" + std::to_string(cpu) + "/topology/";
+    write(base + "physical_package_id", std::to_string(package));
+    write(base + "core_id", std::to_string(core));
+    write(base + "thread_siblings_list", siblings);
+  }
+
+  [[nodiscard]] std::string path() const { return root_.string(); }
+
+ private:
+  fs::path root_;
+};
+
+TEST(TopologyProbe, FallbackWhenSysfsMissing) {
+  const arch::Topology t = arch::probe_topology("/nonexistent/sysfs/root");
+  EXPECT_FALSE(t.probed);
+  EXPECT_GE(t.num_cpus(), 1);
+  EXPECT_EQ(t.num_nodes, 1);
+  // Both pin orders still cover every cpu exactly once.
+  const auto compact = t.pin_order_compact();
+  const auto scatter = t.pin_order_scatter();
+  EXPECT_EQ(static_cast<int>(compact.size()), t.num_cpus());
+  EXPECT_EQ(static_cast<int>(scatter.size()), t.num_cpus());
+}
+
+TEST(TopologyProbe, MalformedOnlineListFallsBack) {
+  SysfsTree tree;
+  tree.write("devices/system/cpu/online", "zero-to-three");
+  const arch::Topology t = arch::probe_topology(tree.path());
+  EXPECT_FALSE(t.probed);
+  EXPECT_GE(t.num_cpus(), 1);
+}
+
+TEST(TopologyProbe, TwoNodeBoxOrders) {
+  SysfsTree tree;
+  tree.write("devices/system/cpu/online", "0-3");
+  for (int c = 0; c < 4; ++c) tree.add_cpu(c, 0, c, std::to_string(c));
+  tree.write("devices/system/node/node0/cpulist", "0-1");
+  tree.write("devices/system/node/node1/cpulist", "2-3");
+
+  const arch::Topology t = arch::probe_topology(tree.path());
+  ASSERT_TRUE(t.probed);
+  EXPECT_EQ(t.num_cpus(), 4);
+  EXPECT_EQ(t.num_cores(), 4);
+  EXPECT_EQ(t.num_nodes, 2);
+  EXPECT_EQ(t.node_of(1), 0);
+  EXPECT_EQ(t.node_of(2), 1);
+  // Compact fills node 0 before node 1; scatter alternates nodes.
+  EXPECT_EQ(t.pin_order_compact(), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(t.pin_order_scatter(), (std::vector<int>{0, 2, 1, 3}));
+}
+
+TEST(TopologyProbe, SmtSiblingsOrderedLast) {
+  SysfsTree tree;
+  tree.write("devices/system/cpu/online", "0-3");
+  // Two physical cores, hyperthreaded: cpu0/cpu2 share core 0, cpu1/cpu3
+  // share core 1 (the interleaved numbering real kernels use).
+  tree.add_cpu(0, 0, 0, "0,2");
+  tree.add_cpu(2, 0, 0, "0,2");
+  tree.add_cpu(1, 0, 1, "1,3");
+  tree.add_cpu(3, 0, 1, "1,3");
+
+  const arch::Topology t = arch::probe_topology(tree.path());
+  ASSERT_TRUE(t.probed);
+  EXPECT_EQ(t.num_cpus(), 4);
+  EXPECT_EQ(t.num_cores(), 2);
+  // Both orders place the physical-core primaries (0, 1) before the SMT
+  // secondaries (2, 3): a pool of two workers gets two real cores.
+  EXPECT_EQ(t.pin_order_compact(), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(t.pin_order_scatter(), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(TopologyProbe, HostProbeIsSane) {
+  const arch::Topology& t = arch::host_topology();
+  EXPECT_GE(t.num_cpus(), 1);
+  EXPECT_GE(t.num_nodes, 1);
+  EXPECT_EQ(pinnable_slots(), t.num_cpus());
+}
+
+// --- pinning -----------------------------------------------------------------
+
+TEST(Affinity, OffModeLeavesThreadUnpinned) {
+  AffinityGuard guard(AffinityMode::Off);
+  const PinResult r = apply_affinity(0);
+  EXPECT_FALSE(r.pinned);
+  EXPECT_EQ(current_node(), -1);
+}
+
+TEST(Affinity, CompactPinsThenOffUnpins) {
+  if (!pinning_supported()) GTEST_SKIP() << "no pinning on this platform";
+  AffinityGuard guard(AffinityMode::Compact);
+  const std::uint64_t pins_before = counter_value("locality.pins");
+  const PinResult r = apply_affinity(0);
+  EXPECT_TRUE(r.pinned);
+  EXPECT_GE(r.cpu, 0);
+  EXPECT_GE(r.node, 0);
+  EXPECT_EQ(current_node(), r.node);
+  EXPECT_EQ(counter_value("locality.pins"), pins_before + 1);
+
+  set_affinity_mode(AffinityMode::Off);
+  const PinResult off = apply_affinity(0);
+  EXPECT_FALSE(off.pinned);
+  EXPECT_EQ(current_node(), -1);
+}
+
+TEST(Affinity, OversubscribedSlotSkipsAndFloats) {
+  AffinityGuard guard(AffinityMode::Compact);
+  const std::uint64_t skipped_before = counter_value("locality.pin_skipped");
+  const PinResult r = apply_affinity(1 << 20);
+  EXPECT_FALSE(r.pinned);
+  EXPECT_EQ(current_node(), -1);
+  EXPECT_EQ(counter_value("locality.pin_skipped"), skipped_before + 1);
+}
+
+TEST(Affinity, ExecutorPinsPoolWorkersAtJobPickup) {
+  if (!pinning_supported()) GTEST_SKIP() << "no pinning on this platform";
+  warm_pool();
+  const std::uint64_t pins_before = counter_value("locality.pins");
+  AffinityGuard guard(AffinityMode::Compact);  // bumps the affinity epoch
+  run(2, [](Communicator& comm) { comm.barrier(); });
+  // At least worker slot 0 maps to a real cpu on any host; slots beyond the
+  // cpu count degrade to floating workers (counted separately).
+  EXPECT_GE(counter_value("locality.pins"), pins_before + 1);
+}
+
+TEST(Affinity, ModeChangesBumpTheEpoch) {
+  const std::uint64_t before = affinity_epoch();
+  AffinityGuard guard(AffinityMode::Off);
+  EXPECT_GT(affinity_epoch(), before);
+}
+
+// --- first touch -------------------------------------------------------------
+
+TEST(FirstTouch, PreservesValuesAndCountsBytes) {
+  std::vector<std::byte> buffer(3 * 4096 + 17);
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    buffer[i] = static_cast<std::byte>(i % 251);
+  }
+  const std::uint64_t before = counter_value("locality.first_touch_bytes");
+  first_touch(buffer);
+  EXPECT_EQ(counter_value("locality.first_touch_bytes"),
+            before + buffer.size());
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    ASSERT_EQ(buffer[i], static_cast<std::byte>(i % 251)) << "byte " << i;
+  }
+}
+
+TEST(FirstTouch, MailboxPlacementRunsOnFirstJobOfASize) {
+  warm_pool();
+  const std::uint64_t before = counter_value("locality.first_touch_bytes");
+  // First job at P=5 in this process: each rank's worker reserves its own
+  // mailbox ring at pickup, so placement bytes must be counted.
+  run(5, [](Communicator& comm) { comm.barrier(); });
+  EXPECT_GT(counter_value("locality.first_touch_bytes"), before);
+}
+
+// --- message ring ------------------------------------------------------------
+
+Message tagged(int tag) {
+  Message m;
+  m.tag = tag;
+  return m;
+}
+
+std::vector<int> tags_of(MessageRing& ring) {
+  std::vector<int> tags;
+  for (std::size_t i = 0; i < ring.size(); ++i) tags.push_back(ring[i].tag);
+  return tags;
+}
+
+TEST(MessageRing, PushAndTakeAreFifo) {
+  MessageRing ring;
+  for (int t = 0; t < 6; ++t) ring.push_back(tagged(t));
+  EXPECT_EQ(ring.size(), 6u);
+  for (int t = 0; t < 6; ++t) EXPECT_EQ(ring.take(0).tag, t);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(MessageRing, GrowthPreservesOrder) {
+  MessageRing ring;
+  for (int t = 0; t < 100; ++t) ring.push_back(tagged(t));
+  EXPECT_GE(ring.capacity(), 100u);
+  for (int t = 0; t < 100; ++t) EXPECT_EQ(ring.take(0).tag, t);
+}
+
+TEST(MessageRing, WrapAroundKeepsFifoOrder) {
+  MessageRing ring;
+  ring.reserve(16);
+  const std::size_t cap = ring.capacity();
+  // March the head around the ring several times with a steady queue depth,
+  // so logical indices wrap the physical slots.
+  int next = 0, expect = 0;
+  for (int i = 0; i < 8; ++i) ring.push_back(tagged(next++));
+  for (std::size_t step = 0; step < 5 * cap; ++step) {
+    EXPECT_EQ(ring.take(0).tag, expect++);
+    ring.push_back(tagged(next++));
+    EXPECT_EQ(ring.capacity(), cap);  // depth 8 never grows a 16-slot ring
+  }
+  while (!ring.empty()) EXPECT_EQ(ring.take(0).tag, expect++);
+}
+
+TEST(MessageRing, InsertAtEitherEndAndMiddle) {
+  MessageRing ring;
+  for (int t : {0, 1, 2, 3}) ring.push_back(tagged(t));
+  ring.insert(0, tagged(90));           // front (short-front path)
+  ring.insert(3, tagged(91));           // middle
+  ring.insert(ring.size(), tagged(92)); // back
+  EXPECT_EQ(tags_of(ring), (std::vector<int>{90, 0, 1, 91, 2, 3, 92}));
+}
+
+TEST(MessageRing, TakeFromMiddleShiftsTheShorterSide) {
+  MessageRing ring;
+  for (int t = 0; t < 7; ++t) ring.push_back(tagged(t));
+  EXPECT_EQ(ring.take(1).tag, 1);  // front half
+  EXPECT_EQ(ring.take(4).tag, 5);  // back half
+  EXPECT_EQ(tags_of(ring), (std::vector<int>{0, 2, 3, 4, 6}));
+}
+
+TEST(MessageRing, ClearRetainsCapacity) {
+  MessageRing ring;
+  for (int t = 0; t < 20; ++t) ring.push_back(tagged(t));
+  const std::size_t cap = ring.capacity();
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.capacity(), cap);
+  ring.push_back(tagged(7));
+  EXPECT_EQ(ring[0].tag, 7);
+}
+
+// --- arena policy derivation -------------------------------------------------
+
+TEST(ArenaPolicyDerivation, ColdClassesShrinkHotClassesGrow) {
+  ArenaClassOps ops{};
+  ops[3] = 10000;  // 512 B class, sqrt -> 100 -> 128 blocks
+  const ArenaLimits limits;
+  const ArenaPolicy p = arena_policy_from_traffic(ops, limits);
+  EXPECT_EQ(p.provenance, "adaptive");
+  for (std::size_t c = 0; c < kArenaNumClasses; ++c) {
+    const std::size_t capacity = kArenaMinClassBytes << c;
+    if (c == 3) continue;
+    EXPECT_EQ(p.shared_cap_bytes[c], limits.min_blocks * capacity) << "class " << c;
+    EXPECT_EQ(p.warm_bytes[c], 0u) << "class " << c;
+  }
+  EXPECT_EQ(p.shared_cap_bytes[3], std::size_t{128} * 512);
+  EXPECT_GT(p.warm_bytes[3], 0u);
+  EXPECT_LE(p.warm_bytes[3], limits.max_warm_bytes_per_class);
+}
+
+TEST(ArenaPolicyDerivation, PerClassAndTotalBudgetsClamp) {
+  ArenaClassOps ops{};
+  for (std::size_t c = 0; c < kArenaNumClasses; ++c) {
+    ops[c] = std::uint64_t{1} << 40;  // absurdly hot everywhere
+  }
+  const ArenaLimits limits;
+  const ArenaPolicy p = arena_policy_from_traffic(ops, limits);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < kArenaNumClasses; ++c) {
+    EXPECT_LE(p.shared_cap_bytes[c], limits.max_shared_per_class) << "class " << c;
+    total += p.shared_cap_bytes[c];
+  }
+  EXPECT_LE(total, limits.total_shared_budget);
+}
+
+TEST(ArenaPolicyDerivation, HistogramBucketsMapToClasses) {
+  trace::Histogram h;
+  h.record(0);     // bucket 0: never touches the arena
+  h.record(33);    // <= 64 B: inline payload, skipped
+  h.record(100);   // needs a 128 B block -> class 1
+  h.record(100);
+  h.record(4000);  // needs a 4 KiB block -> class 6
+  const ArenaClassOps ops = class_ops_from_histogram(h);
+  EXPECT_EQ(ops[0], 0u);
+  EXPECT_EQ(ops[1], 2u);
+  EXPECT_EQ(ops[6], 1u);
+  std::uint64_t total = 0;
+  for (const auto n : ops) total += n;
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(ArenaPolicyDerivation, SameLimitsIgnoresProvenance) {
+  const ArenaPolicy a = ArenaPolicy::fixed_default();
+  ArenaPolicy b = a;
+  b.provenance = "adaptive";
+  EXPECT_TRUE(a.same_limits(b));
+  b.shared_cap_bytes[0] += kArenaMinClassBytes;
+  EXPECT_FALSE(a.same_limits(b));
+}
+
+// --- adaptive controller + arena integration ---------------------------------
+
+TEST(AdaptiveArena, SetPolicyBumpsEpochOnlyOnRealChange) {
+  BufferArena& arena = BufferArena::instance();
+  const ArenaPolicy saved = arena.policy();
+  const std::uint64_t epoch0 = arena.policy_epoch();
+  EXPECT_FALSE(arena.set_policy(saved));  // identical limits: no-op
+  EXPECT_EQ(arena.policy_epoch(), epoch0);
+
+  ArenaPolicy changed = saved;
+  changed.shared_cap_bytes[2] += 4 * (kArenaMinClassBytes << 2);
+  const std::uint64_t resizes_before = counter_value("arena.resize");
+  EXPECT_TRUE(arena.set_policy(changed));
+  EXPECT_EQ(arena.policy_epoch(), epoch0 + 1);
+  EXPECT_EQ(counter_value("arena.resize"), resizes_before + 1);
+
+  arena.set_policy(saved);
+}
+
+TEST(AdaptiveArena, RefreshDerivesPolicyFromTraffic) {
+  const ArenaPolicy saved = BufferArena::instance().policy();
+  // A traffic spike in the largest class that no other test produces: the
+  // derived cap must differ from whatever policy is currently installed.
+  trace::Metrics::instance()
+      .histogram("comm.bytes_per_op")
+      .record_many(std::uint64_t{3} << 20, 1u << 20);
+  const std::uint64_t resizes_before = counter_value("arena.resize");
+  EXPECT_TRUE(refresh_arena_policy());
+  EXPECT_EQ(counter_value("arena.resize"), resizes_before + 1);
+  EXPECT_EQ(BufferArena::instance().policy().provenance, "adaptive");
+  EXPECT_GT(BufferArena::instance().policy().shared_cap_bytes[16],
+            ArenaLimits{}.min_blocks * kArenaMaxClassBytes);
+  BufferArena::instance().set_policy(saved);
+}
+
+TEST(AdaptiveArena, WarmThreadCacheCountsFirstTouch) {
+  BufferArena& arena = BufferArena::instance();
+  const ArenaPolicy saved = arena.policy();
+  ArenaPolicy warm = saved;
+  warm.warm_bytes[2] = 8 * (kArenaMinClassBytes << 2);  // eight 256 B blocks
+  arena.set_policy(warm);
+  EXPECT_GE(arena.warm_thread_cache(), 0u);  // idempotent on a warm cache
+  arena.set_policy(saved);
+}
+
+TEST(AdaptiveArena, ProfileSidecarRoundTrip) {
+  const fs::path dir =
+      fs::temp_directory_path() / ("vpar_arena_profile_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  const std::string path = (dir / "profile.json").string();
+
+  const ArenaPolicy saved = BufferArena::instance().policy();
+  ASSERT_TRUE(save_arena_profile(path));
+  EXPECT_TRUE(load_arena_profile(path));
+  // Loading installs the persisted limits — which match what was saved.
+  EXPECT_TRUE(BufferArena::instance().policy().same_limits(saved));
+
+  EXPECT_FALSE(load_arena_profile((dir / "missing.json").string()));
+  {
+    std::ofstream corrupt(dir / "corrupt.json");
+    corrupt << "{\"schema\": \"wrong\"}\n";
+  }
+  const ArenaPolicy before = BufferArena::instance().policy();
+  EXPECT_FALSE(load_arena_profile((dir / "corrupt.json").string()));
+  EXPECT_TRUE(BufferArena::instance().policy().same_limits(before));
+
+  BufferArena::instance().set_policy(saved);
+  fs::remove_all(dir);
+}
+
+// --- bitwise-identical application results ----------------------------------
+//
+// Pinning moves threads, never work: every kernel must produce the same bits
+// under any affinity mode. Same guarantee (and test shape) as the hybrid
+// threading layer's bitwise suite.
+
+std::vector<std::vector<double>> lbmhd_fields(AffinityMode mode) {
+  AffinityGuard guard(mode);
+  warm_pool();
+  std::vector<std::vector<double>> fields(2);
+  run(2, [&](Communicator& comm) {
+    lbmhd::Options options;
+    options.nx = 32;
+    options.ny = 16;
+    options.px = 2;
+    options.py = 1;
+    options.collision = lbmhd::Options::Collision::Flat;
+    lbmhd::Simulation sim(comm, options);
+    sim.initialize(lbmhd::orszag_tang_ic());
+    sim.run(3);
+    fields[comm.rank()] = sim.save_state().fields;
+  });
+  return fields;
+}
+
+TEST(AffinityIdentical, LbmhdBitwiseAcrossModes) {
+  const auto off = lbmhd_fields(AffinityMode::Off);
+  const auto compact = lbmhd_fields(AffinityMode::Compact);
+  const auto scatter = lbmhd_fields(AffinityMode::Scatter);
+  ASSERT_EQ(off.size(), compact.size());
+  for (std::size_t r = 0; r < off.size(); ++r) {
+    EXPECT_EQ(off[r], compact[r]) << "rank " << r;
+    EXPECT_EQ(off[r], scatter[r]) << "rank " << r;
+  }
+}
+
+}  // namespace
+}  // namespace vpar::simrt
