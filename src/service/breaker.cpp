@@ -1,0 +1,106 @@
+#include "service/breaker.hpp"
+
+#include <algorithm>
+
+namespace vpar::service {
+
+CircuitBreaker::CircuitBreaker(const BreakerConfig& config) : config_(config) {
+  config_.window = std::max(config_.window, 1);
+  config_.min_samples = std::clamp(config_.min_samples, 1, config_.window);
+  config_.probes = std::max(config_.probes, 1);
+  window_.assign(static_cast<std::size_t>(config_.window), 0);
+}
+
+double CircuitBreaker::failure_fraction_locked() const {
+  if (window_filled_ == 0) return 0.0;
+  int failures = 0;
+  for (int i = 0; i < window_filled_; ++i) failures += window_[static_cast<std::size_t>(i)];
+  return static_cast<double>(failures) / static_cast<double>(window_filled_);
+}
+
+void CircuitBreaker::open_locked() {
+  state_ = State::Open;
+  opened_at_ = std::chrono::steady_clock::now();
+  probes_issued_ = 0;
+  probe_successes_ = 0;
+  ++opens_;
+}
+
+bool CircuitBreaker::allow(bool& probe) {
+  probe = false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::Closed:
+      return true;
+    case State::Open:
+      if (std::chrono::steady_clock::now() - opened_at_ < config_.cooldown) {
+        return false;
+      }
+      state_ = State::HalfOpen;
+      probes_issued_ = 0;
+      probe_successes_ = 0;
+      [[fallthrough]];
+    case State::HalfOpen:
+      if (probes_issued_ >= config_.probes) return false;
+      ++probes_issued_;
+      probe = true;
+      return true;
+  }
+  return true;  // unreachable
+}
+
+void CircuitBreaker::record(bool success, bool probe) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (probe && state_ == State::HalfOpen) {
+    if (!success) {
+      open_locked();
+      return;
+    }
+    if (++probe_successes_ >= config_.probes) {
+      // Recovered: forget the stormy window, start judging fresh.
+      state_ = State::Closed;
+      window_next_ = 0;
+      window_filled_ = 0;
+    }
+    return;
+  }
+  // Non-probe outcome (or a probe verdict arriving after another probe
+  // already re-opened the breaker): slide the window. Only a Closed breaker
+  // opens on the threshold — Open/HalfOpen transitions belong to the
+  // cooldown/probe machinery.
+  window_[static_cast<std::size_t>(window_next_)] = success ? 0 : 1;
+  window_next_ = (window_next_ + 1) % config_.window;
+  window_filled_ = std::min(window_filled_ + 1, config_.window);
+  if (state_ == State::Closed && window_filled_ >= config_.min_samples &&
+      failure_fraction_locked() >= config_.threshold) {
+    open_locked();
+  }
+}
+
+void CircuitBreaker::forget(bool probe) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (probe && state_ == State::HalfOpen && probes_issued_ > 0) {
+    --probes_issued_;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+std::uint64_t CircuitBreaker::opens() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return opens_;
+}
+
+const char* to_string(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::Closed: return "closed";
+    case CircuitBreaker::State::Open: return "open";
+    case CircuitBreaker::State::HalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+}  // namespace vpar::service

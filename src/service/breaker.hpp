@@ -1,0 +1,87 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace vpar::service {
+
+/// Circuit-breaker tuning. The window is a count of recent *job* outcomes
+/// (success/failure), not a time interval — job durations vary by orders of
+/// magnitude across app/size mixes, so an outcome window tracks the failure
+/// *rate* the breaker actually cares about.
+struct BreakerConfig {
+  int window = 32;       // sliding window of recent outcomes
+  int min_samples = 8;   // withhold judgment before this many outcomes
+  double threshold = 0.5;  // failure fraction in the window that opens it
+  std::chrono::milliseconds cooldown{250};  // Open -> HalfOpen delay
+  int probes = 2;        // HalfOpen successes required to re-close
+};
+
+/// Load-shedding breaker in front of the job queue. Closed admits everything;
+/// when the failure fraction over the last `window` outcomes reaches
+/// `threshold` (with at least `min_samples` observed) it opens and admission
+/// rejects with BreakerOpen — a storm of failing jobs stops burning lane time
+/// and retry budget on work that is going to fail anyway. After `cooldown`
+/// the breaker goes half-open and lets `probes` trial jobs through: all
+/// succeeding re-closes it (window cleared), any failing re-opens it.
+///
+/// What counts as a failure is the *caller's* policy; the JobServer records
+/// run failures (including deadline aborts of running jobs) but not
+/// queue-expiries — those signal overload, which backpressure already
+/// handles, not a faulty backend.
+///
+/// Thread-safe; every method takes the internal mutex.
+class CircuitBreaker {
+ public:
+  enum class State : int { Closed = 0, Open, HalfOpen };
+
+  explicit CircuitBreaker(const BreakerConfig& config = {});
+
+  /// Admission gate: true = let the job through. Transitions Open ->
+  /// HalfOpen once the cooldown has elapsed; in HalfOpen, admits at most
+  /// `probes` trial jobs until their outcomes arrive. `probe` is set when
+  /// the admitted job consumed a half-open probe slot — thread it back into
+  /// record()/forget() so a probe's verdict is never confused with the late
+  /// result of a job admitted before the breaker opened.
+  [[nodiscard]] bool allow(bool& probe);
+  [[nodiscard]] bool allow() {
+    bool probe = false;
+    return allow(probe);
+  }
+
+  /// Completion-side feedback for a job that allow() admitted. A probe's
+  /// failure re-opens the breaker; `probes` probe successes re-close it
+  /// (window cleared). Non-probe outcomes slide the window.
+  void record(bool success, bool probe = false);
+
+  /// Release an admitted job's claim without judging it (the job never ran:
+  /// queue expiry, server stopped). Frees the probe slot so a half-open
+  /// breaker cannot wedge waiting for a verdict that will never come.
+  void forget(bool probe);
+
+  [[nodiscard]] State state() const;
+
+  /// Times the breaker has transitioned Closed/HalfOpen -> Open.
+  [[nodiscard]] std::uint64_t opens() const;
+
+ private:
+  [[nodiscard]] double failure_fraction_locked() const;
+  void open_locked();
+
+  BreakerConfig config_;
+  mutable std::mutex mutex_;
+  State state_ = State::Closed;
+  std::vector<char> window_;  // ring of outcomes: 1 = failure, 0 = success
+  int window_next_ = 0;
+  int window_filled_ = 0;
+  std::chrono::steady_clock::time_point opened_at_{};
+  int probes_issued_ = 0;
+  int probe_successes_ = 0;
+  std::uint64_t opens_ = 0;
+};
+
+[[nodiscard]] const char* to_string(CircuitBreaker::State state);
+
+}  // namespace vpar::service

@@ -1,0 +1,153 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/breaker.hpp"
+#include "service/job.hpp"
+
+namespace vpar::simrt {
+class Executor;
+}
+
+namespace vpar::service {
+
+/// JobServer sizing and policy knobs.
+struct ServerConfig {
+  /// Concurrent lanes. Each lane owns a private pooled simrt::Executor —
+  /// Executor::run() serializes callers per instance, so true job
+  /// concurrency needs one executor per lane, reused across thousands of
+  /// jobs (the pool keeps its workers parked between jobs).
+  int lanes = 2;
+  /// Bounded queue depth; submissions beyond it are rejected (QueueFull),
+  /// which is the backpressure signal — callers resubmit, the server never
+  /// buffers unboundedly.
+  int queue_capacity = 64;
+  /// Largest job size admission accepts (BadRequest above it).
+  int max_ranks = 16;
+  /// Deadlock watchdog applied to jobs whose spec leaves watchdog at 0.
+  std::chrono::milliseconds default_watchdog{0};
+  /// Retry-backoff jitter applied to jobs whose spec leaves retry.jitter at
+  /// 0 — concurrent jobs that failed together must not all retry together,
+  /// so service retries are jittered unless the spec says otherwise.
+  double default_retry_jitter = 0.5;
+  BreakerConfig breaker{};
+  /// Write a per-job JSON failure report (vpar_job.<id>.<tenant>.json in
+  /// failure_report_dir) for every cleanly-failed job. The in-Executor
+  /// flight-recorder postmortem is always disabled for service jobs —
+  /// draining trace rings requires quiesced writers, which concurrent lanes
+  /// cannot guarantee — so this is the service's failure artifact.
+  bool failure_reports = false;
+  std::string failure_report_dir = ".";
+};
+
+/// Point-in-time server accounting. The four outcome buckets partition the
+/// admitted jobs; rejected_* partition the rejections.
+struct ServerStats {
+  std::uint64_t submitted = 0;  // admitted into the queue
+  std::uint64_t completed = 0;
+  std::uint64_t retried_then_completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t queue_expired = 0;  // subset of failed: deadline hit in queue
+  std::uint64_t rejected = 0;
+  std::uint64_t rejected_bad_request = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_breaker = 0;
+  std::uint64_t breaker_opens = 0;
+  int queue_depth = 0;
+  int busy_lanes = 0;
+};
+
+/// Multi-tenant simulation job server: a bounded admission queue feeding
+/// `lanes` worker lanes, each lane an independently pooled simrt::Executor.
+///
+/// Admission (submit) decides synchronously, in order: bad request ->
+/// shutting down -> queue full -> breaker open; an admitted job gets a
+/// ticket the caller waits on. Lanes dequeue FIFO and run each job under its
+/// own robustness envelope — seeded fault plan, checksums, deadlock
+/// watchdog, absolute deadline (armed at admission so queue wait and every
+/// retry spend the same budget), and bounded jittered-backoff retry via
+/// simrt::run_with_retry.
+///
+/// Tenant isolation: each job's metrics come only from its own RunResult
+/// (scoped trace::Metrics, see JobResult::metrics), its failure is reported
+/// on its own ticket with the first failing rank's error, and a lane that
+/// just ran a failing job is healthy for the next one (the executor discards
+/// the failed job's runtime state, never its workers). One tenant's chaos
+/// cannot corrupt a neighbor's results, abort its jobs, or delay them beyond
+/// the queue wait its own submissions also pay.
+class JobServer {
+ public:
+  explicit JobServer(const ServerConfig& config = {});
+  ~JobServer();  // stop()
+  JobServer(const JobServer&) = delete;
+  JobServer& operator=(const JobServer&) = delete;
+
+  /// Synchronous admission decision; never blocks on job execution. The
+  /// returned ticket is always valid (pre-completed for rejects).
+  [[nodiscard]] Admission submit(JobSpec spec);
+
+  /// Block until the queue is empty and every lane is idle. New submissions
+  /// during a drain keep it waiting; call stop() first for a final drain.
+  void drain();
+
+  /// Stop accepting work, fail still-queued jobs ("server stopped before the
+  /// job ran"), and join the lanes. Running jobs finish normally. Idempotent.
+  void stop();
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] CircuitBreaker::State breaker_state() const;
+
+  /// Snapshot of one tenant's scoped metrics registry: per-job outcome
+  /// counters plus log2 latency/traffic histograms, populated only from that
+  /// tenant's own job results (empty snapshot for unknown tenants).
+  [[nodiscard]] trace::MetricsSnapshot tenant_snapshot(
+      const std::string& tenant) const;
+
+ private:
+  struct Pending {
+    JobSpec spec;
+    JobTicket ticket;
+    std::uint64_t id = 0;
+    std::chrono::steady_clock::time_point admitted{};
+    std::chrono::steady_clock::time_point deadline{};  // epoch = disarmed
+    bool breaker_probe = false;  // consumed a half-open probe slot
+  };
+
+  struct Lane {
+    std::unique_ptr<simrt::Executor> executor;
+    std::thread thread;
+  };
+
+  void lane_loop(int lane);
+  [[nodiscard]] JobResult run_job(simrt::Executor& executor, Pending& pending);
+  void finish_job(Pending& pending, JobResult result);
+  void write_failure_report(const JobResult& result) const;
+
+  ServerConfig config_;
+  CircuitBreaker breaker_;
+
+  mutable std::mutex mutex_;  // queue, stats, lifecycle flags
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  int busy_lanes_ = 0;
+  std::uint64_t next_id_ = 0;
+  ServerStats stats_;
+
+  mutable std::mutex tenants_mutex_;
+  std::map<std::string, std::unique_ptr<trace::Metrics>> tenants_;
+
+  std::vector<Lane> lanes_;
+};
+
+}  // namespace vpar::service

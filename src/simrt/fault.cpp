@@ -46,6 +46,8 @@ void JobControl::configure(const RunOptions& options) {
   checksums_ = options.checksums;
   watchdog_ =
       std::chrono::duration_cast<std::chrono::nanoseconds>(options.watchdog);
+  deadline_ = options.deadline;
+  postmortem_ = options.postmortem;
   aborted_.store(false, std::memory_order_release);
   {
     std::lock_guard lock(mutex_);

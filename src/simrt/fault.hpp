@@ -30,6 +30,17 @@ class WatchdogTimeout : public JobAborted {
   using JobAborted::JobAborted;
 };
 
+/// JobAborted raised when a job is still running at its RunOptions::deadline.
+/// The caller-thread scanner (the same one that backs the deadlock watchdog)
+/// trips the cooperative-abort latch: blocked ranks are woken immediately,
+/// compute-bound ranks observe the abort at their next communication call —
+/// cancellation is cooperative, exactly like every other abort in the
+/// runtime. The service layer maps this onto per-job deadlines.
+class DeadlineExceeded : public JobAborted {
+ public:
+  using JobAborted::JobAborted;
+};
+
 /// Thrown by the fault injector when the plan kills this rank.
 class InjectedFault : public std::runtime_error {
  public:
@@ -123,6 +134,20 @@ struct RunOptions {
   /// Attach and verify a per-message payload checksum (detects injected
   /// bit-flips at the cost of one extra pass over every payload).
   bool checksums = false;
+  /// Absolute wall deadline (steady clock) for the whole job; the default
+  /// (epoch) disarms it. A job still running at the deadline is cooperatively
+  /// aborted and DeadlineExceeded is rethrown to the caller. Absolute rather
+  /// than relative so retries of the same job share one budget.
+  std::chrono::steady_clock::time_point deadline{};
+  /// Write the flight-recorder post-mortem dump when this job fails. The
+  /// service layer disables it for its jobs: draining every thread's trace
+  /// ring requires quiesced writers, which concurrent lanes cannot guarantee
+  /// (it writes per-job failure reports instead).
+  bool postmortem = true;
+
+  [[nodiscard]] bool deadline_armed() const {
+    return deadline.time_since_epoch().count() > 0;
+  }
 };
 
 // --- per-job control block --------------------------------------------------
@@ -158,6 +183,13 @@ class JobControl {
   [[nodiscard]] bool checksums() const { return checksums_; }
   [[nodiscard]] std::chrono::nanoseconds watchdog() const { return watchdog_; }
   [[nodiscard]] bool watchdog_armed() const { return watchdog_.count() > 0; }
+  [[nodiscard]] std::chrono::steady_clock::time_point deadline() const {
+    return deadline_;
+  }
+  [[nodiscard]] bool deadline_armed() const {
+    return deadline_.time_since_epoch().count() > 0;
+  }
+  [[nodiscard]] bool postmortem() const { return postmortem_; }
   [[nodiscard]] int size() const { return static_cast<int>(status_.size()); }
 
   // --- abort machinery ------------------------------------------------------
@@ -204,6 +236,8 @@ class JobControl {
   FaultPlan fault_{};
   bool checksums_ = false;
   std::chrono::nanoseconds watchdog_{0};
+  std::chrono::steady_clock::time_point deadline_{};
+  bool postmortem_ = true;
 
   std::atomic<bool> aborted_{false};
   mutable std::mutex mutex_;  // guards reason_, latched_, waker_

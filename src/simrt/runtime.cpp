@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <stdexcept>
 #include <string>
@@ -10,6 +11,7 @@
 #include "simrt/arena_policy.hpp"
 #include "simrt/locality.hpp"
 #include "trace/chrome_export.hpp"
+#include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 
 namespace vpar::simrt {
@@ -86,6 +88,15 @@ std::uint64_t now_ns() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+/// SplitMix64 finalizer (same family the fault injector uses): cheap,
+/// well-mixed, deterministic — drives the seeded retry jitter.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
 }
 
 /// Environment-armed default watchdog (VPAR_WATCHDOG_MS): applied to every
@@ -186,6 +197,71 @@ std::string deadlock_report(RuntimeState& state, WatchdogMemory& memory,
 std::chrono::nanoseconds watchdog_chunk(std::chrono::nanoseconds timeout) {
   return std::chrono::nanoseconds(std::clamp<std::int64_t>(
       timeout.count() / 4, 5'000'000, 200'000'000));
+}
+
+/// Caller-thread supervision of an in-flight job: plain condvar wait when
+/// nothing is armed, otherwise chunked waits that double as the deadlock
+/// watchdog scanner and the deadline enforcer (no extra thread either way).
+/// Both enforcement paths funnel into the same cooperative-abort latch:
+/// blocked ranks wake with JobAborted immediately, compute-bound ranks
+/// observe the abort at their next communication call. `lock` guards
+/// `first_error` and whatever `done` reads; it is released only around
+/// abort() (which takes the job's own mutex and wakes rank threads).
+void supervise_job(std::unique_lock<std::mutex>& lock,
+                   std::condition_variable& cv_done,
+                   const std::function<bool()>& done, RuntimeState& state,
+                   std::uint64_t generation, std::exception_ptr& first_error) {
+  const bool watchdog = state.control.watchdog_armed();
+  const bool deadline = state.control.deadline_armed();
+  if (!watchdog && !deadline) {
+    cv_done.wait(lock, done);
+    return;
+  }
+
+  auto abort_with = [&](std::exception_ptr error, std::string reason) {
+    if (!first_error) first_error = std::move(error);
+    lock.unlock();
+    state.control.abort(std::move(reason));
+    lock.lock();
+    cv_done.wait(lock, done);
+  };
+
+  const auto timeout = state.control.watchdog();
+  const auto base_chunk = watchdog ? watchdog_chunk(timeout)
+                                   : std::chrono::nanoseconds(20'000'000);
+  WatchdogMemory memory;
+  while (!done()) {
+    auto chunk = base_chunk;
+    if (deadline) {
+      // Tighten the wait to the deadline so enforcement is prompt even when
+      // the watchdog's quantum is long (floor 1 ms: never spin).
+      const auto remaining = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          state.control.deadline() - std::chrono::steady_clock::now());
+      chunk = std::clamp(remaining, std::chrono::nanoseconds(1'000'000), chunk);
+    }
+    if (cv_done.wait_for(lock, chunk, done)) break;
+    if (deadline) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= state.control.deadline()) {
+        const auto over = std::chrono::duration_cast<std::chrono::milliseconds>(
+            now - state.control.deadline());
+        trace::emit_instant("deadline.exceeded", over.count());
+        std::string reason = "job deadline exceeded (P=" +
+                             std::to_string(state.size) + ", aborted " +
+                             std::to_string(over.count()) +
+                             " ms past the deadline)";
+        abort_with(std::make_exception_ptr(DeadlineExceeded(reason)), reason);
+        break;
+      }
+    }
+    if (!watchdog) continue;
+    trace::emit_instant("watchdog.scan");
+    std::string report = deadlock_report(state, memory, timeout, generation);
+    if (report.empty()) continue;
+    trace::emit_instant("watchdog.timeout");
+    abort_with(std::make_exception_ptr(WatchdogTimeout(report)), report);
+    break;
+  }
 }
 
 /// Annotate one rank's escaped exception for the run() caller and record it
@@ -291,32 +367,12 @@ RunResult run_spawned(const RunOptions& options,
 
   {
     std::unique_lock lock(mutex);
-    if (!state.control.watchdog_armed()) {
-      cv_done.wait(lock, [&] { return remaining == 0; });
-    } else {
-      const auto timeout = state.control.watchdog();
-      const auto chunk = watchdog_chunk(timeout);
-      WatchdogMemory memory;
-      while (remaining != 0) {
-        if (cv_done.wait_for(lock, chunk, [&] { return remaining == 0; })) break;
-        trace::emit_instant("watchdog.scan");
-        std::string report = deadlock_report(state, memory, timeout, 0);
-        if (report.empty()) continue;
-        trace::emit_instant("watchdog.timeout");
-        if (!first_error) {
-          first_error = std::make_exception_ptr(WatchdogTimeout(report));
-        }
-        lock.unlock();
-        state.control.abort(std::move(report));
-        lock.lock();
-        cv_done.wait(lock, [&] { return remaining == 0; });
-        break;
-      }
-    }
+    supervise_job(lock, cv_done, [&] { return remaining == 0; }, state, 0,
+                  first_error);
   }
   for (auto& t : threads) t.join();
   if (first_error) {
-    postmortem_for(first_error);
+    if (state.control.postmortem()) postmortem_for(first_error);
     std::rethrow_exception(first_error);
   }
 
@@ -557,32 +613,11 @@ void Executor::loop_parallel(RuntimeState& state, int rank, LoopTask& task) {
 }
 
 void Executor::wait_for_job(std::unique_lock<std::mutex>& lock) {
-  RuntimeState& state = *job_state_;
-  if (!state.control.watchdog_armed()) {
-    cv_done_.wait(lock, [&] { return remaining_ == 0; });
-    return;
-  }
-  const auto timeout = state.control.watchdog();
-  const auto chunk = watchdog_chunk(timeout);
-  WatchdogMemory memory;
-  while (remaining_ != 0) {
-    if (cv_done_.wait_for(lock, chunk, [&] { return remaining_ == 0; })) break;
-    // The scan reads only atomics and per-mailbox stats; holding mutex_
-    // here cannot deadlock because no worker ever holds a mailbox lock
-    // while taking mutex_.
-    trace::emit_instant("watchdog.scan");
-    std::string report = deadlock_report(state, memory, timeout, generation_);
-    if (report.empty()) continue;
-    trace::emit_instant("watchdog.timeout");
-    if (!first_error_) {
-      first_error_ = std::make_exception_ptr(WatchdogTimeout(report));
-    }
-    lock.unlock();
-    state.control.abort(std::move(report));
-    lock.lock();
-    cv_done_.wait(lock, [&] { return remaining_ == 0; });
-    break;
-  }
+  // The watchdog scan reads only atomics and per-mailbox stats; holding
+  // mutex_ here cannot deadlock because no worker ever holds a mailbox lock
+  // while taking mutex_.
+  supervise_job(lock, cv_done_, [this] { return remaining_ == 0; },
+                *job_state_, generation_, first_error_);
 }
 
 RunResult Executor::run(int size, const std::function<void(Communicator&)>& body) {
@@ -633,12 +668,15 @@ RunResult Executor::run(const RunOptions& options_in,
     // rendezvous generation behind; drop the cached state so the next run
     // starts from scratch. The pool's workers are already parked again and
     // stay usable.
+    const bool postmortem = state_->control.postmortem();
     state_.reset();
     std::exception_ptr error = first_error_;
     first_error_ = nullptr;
-    // Flight-recorder post-mortem: every worker is parked again (the job
-    // fully drained above), so the rings are quiescent and safe to drain.
-    postmortem_for(error);
+    // Flight-recorder post-mortem: every worker of *this* pool is parked
+    // again (the job fully drained above). Callers running several pools
+    // concurrently (the service's lanes) disarm this via
+    // RunOptions::postmortem — other pools' writers are not quiesced.
+    if (postmortem) postmortem_for(error);
     std::rethrow_exception(error);
   }
 
@@ -733,21 +771,85 @@ RunResult run(const RunOptions& options,
   return Executor::shared().run(options, body);
 }
 
-RetryResult run_with_retry(RunOptions options,
-                           const std::function<void(Communicator&)>& body,
-                           const RetryPolicy& policy) {
-  auto backoff = policy.backoff;
+std::chrono::milliseconds retry_backoff(const RetryPolicy& policy, int attempt) {
+  double ms = static_cast<double>(policy.backoff.count());
+  const double cap = policy.max_backoff.count() > 0
+                         ? static_cast<double>(policy.max_backoff.count())
+                         : std::numeric_limits<double>::infinity();
+  for (int i = 0; i < attempt && ms < cap; ++i) ms *= policy.backoff_factor;
+  ms = std::min(ms, cap);
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  if (jitter > 0.0) {
+    // Deterministic per-(seed, attempt) draw, same generator family as the
+    // fault injector: seeded chaos runs replay their exact pauses.
+    const std::uint64_t h =
+        mix64(mix64(policy.jitter_seed) ^ (static_cast<std::uint64_t>(attempt) + 1));
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+    ms *= 1.0 - jitter * u;
+  }
+  return std::chrono::milliseconds(static_cast<std::int64_t>(ms));
+}
+
+namespace {
+
+/// Retry-observability meters on the process registry (find-or-create once).
+struct RetryMeters {
+  trace::Counter& attempts = trace::Metrics::instance().counter("retry.attempts");
+  trace::Counter& giveups = trace::Metrics::instance().counter("retry.giveups");
+};
+
+RetryMeters& retry_meters() {
+  static RetryMeters m;
+  return m;
+}
+
+/// Shared retry loop: `runner` is one run() attempt against whichever
+/// executor the caller picked.
+RetryResult retry_loop(const std::function<RunResult(const RunOptions&)>& runner,
+                       RunOptions options, const RetryPolicy& policy) {
+  RetryMeters& meters = retry_meters();
   for (int attempt = 0;; ++attempt) {
     try {
-      return RetryResult{run(options, body), attempt + 1};
+      meters.attempts.add();
+      return RetryResult{runner(options), attempt + 1};
+    } catch (const DeadlineExceeded&) {
+      // The deadline is absolute: rerunning an expired job cannot succeed.
+      meters.giveups.add();
+      throw;
     } catch (...) {
-      if (attempt >= policy.max_retries) throw;
-      if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
-      backoff = std::chrono::milliseconds(static_cast<std::int64_t>(
-          static_cast<double>(backoff.count()) * policy.backoff_factor));
+      if (attempt >= policy.max_retries) {
+        meters.giveups.add();
+        throw;
+      }
+      const auto pause = retry_backoff(policy, attempt);
+      if (options.deadline_armed() &&
+          std::chrono::steady_clock::now() + pause >= options.deadline) {
+        // The backoff pause alone would sleep past the deadline: give up now
+        // instead of burning the remaining budget asleep.
+        meters.giveups.add();
+        throw;
+      }
+      trace::emit_instant("retry.attempt", attempt + 1);
+      if (pause.count() > 0) std::this_thread::sleep_for(pause);
       if (policy.disarm_faults_on_retry) options.fault = FaultPlan{};
     }
   }
+}
+
+}  // namespace
+
+RetryResult run_with_retry(RunOptions options,
+                           const std::function<void(Communicator&)>& body,
+                           const RetryPolicy& policy) {
+  return retry_loop([&](const RunOptions& o) { return run(o, body); },
+                    std::move(options), policy);
+}
+
+RetryResult run_with_retry(Executor& executor, RunOptions options,
+                           const std::function<void(Communicator&)>& body,
+                           const RetryPolicy& policy) {
+  return retry_loop([&](const RunOptions& o) { return executor.run(o, body); },
+                    std::move(options), policy);
 }
 
 }  // namespace vpar::simrt

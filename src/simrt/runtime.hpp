@@ -145,10 +145,27 @@ struct RetryPolicy {
   /// Sleep before the first retry; multiplied by backoff_factor after each.
   std::chrono::milliseconds backoff{10};
   double backoff_factor = 2.0;
+  /// Ceiling on the exponential growth — without it a long retry chain
+  /// sleeps for minutes. 0 disables the cap.
+  std::chrono::milliseconds max_backoff{10'000};
+  /// Fraction of each pause randomized away, in [0, 1]: the slept pause is
+  /// uniform in [(1 - jitter) * b, b] where b is the capped exponential
+  /// backoff (jitter = 1 is "full jitter"). De-synchronizes retry herds —
+  /// concurrent jobs that failed together must not all retry together.
+  double jitter = 0.0;
+  /// Seeds the deterministic jitter stream (splitmix64 of seed and attempt),
+  /// so a seeded chaos run replays its exact pauses.
+  std::uint64_t jitter_seed = 0;
   /// Strip the fault plan from the options on retry — the model for "the
   /// transient fault does not recur on the restarted run".
   bool disarm_faults_on_retry = true;
 };
+
+/// The pause run_with_retry sleeps before retry `attempt` (0-based failure
+/// index): capped exponential backoff with deterministic seeded jitter.
+/// Exposed for tests and for callers that schedule their own retries.
+[[nodiscard]] std::chrono::milliseconds retry_backoff(const RetryPolicy& policy,
+                                                      int attempt);
 
 struct RetryResult {
   RunResult result;
@@ -156,13 +173,28 @@ struct RetryResult {
   int attempts = 1;
 };
 
-/// Run with bounded retries and exponential backoff: on any failure the job
-/// is rerun (after backoff) up to policy.max_retries more times; the last
-/// failure is rethrown if all attempts fail. Combined with application-level
-/// save_state/restore_state checkpoints, this is the restart half of the
-/// checkpoint/restart story — the body decides whether to start clean or
-/// restore from its last checkpoint.
+/// Run with bounded retries and capped, jittered exponential backoff: on any
+/// failure the job is rerun (after retry_backoff) up to policy.max_retries
+/// more times; the last failure is rethrown if all attempts fail. Combined
+/// with application-level save_state/restore_state checkpoints, this is the
+/// restart half of the checkpoint/restart story — the body decides whether
+/// to start clean or restore from its last checkpoint.
+///
+/// Deadline interaction: a DeadlineExceeded failure is never retried, and no
+/// retry is attempted whose backoff pause would sleep past an armed
+/// options.deadline — an expired budget cannot be bought back by rerunning.
+///
+/// Metrics: every run() attempt made here bumps the registry counter
+/// `retry.attempts`; a job whose retries are exhausted (or whose deadline
+/// cuts the chain short) bumps `retry.giveups` as its failure is rethrown.
 RetryResult run_with_retry(RunOptions options,
+                           const std::function<void(Communicator&)>& body,
+                           const RetryPolicy& policy = {});
+
+/// As above, but every attempt runs on `executor` instead of the shared
+/// pool. The service layer's lanes each own a pooled Executor so concurrent
+/// jobs retry independently without serializing on Executor::shared().
+RetryResult run_with_retry(Executor& executor, RunOptions options,
                            const std::function<void(Communicator&)>& body,
                            const RetryPolicy& policy = {});
 

@@ -124,13 +124,29 @@ bool export_chrome_trace(const std::string& path, const std::string& reason) {
   return static_cast<bool>(out);
 }
 
-std::string write_postmortem(const std::string& reason) {
+std::string write_postmortem(const std::string& reason,
+                             const std::string& label) {
   if (!enabled()) return {};
   const char* dir_env = std::getenv("VPAR_TRACE_DIR");
   const std::string dir = dir_env != nullptr && *dir_env != '\0' ? dir_env : ".";
-  const std::string trace_path = dir + "/vpar_postmortem.trace.json";
+  // Per-failure filenames: a timestamp for humans sorting a directory, plus
+  // a process-wide sequence number so two failures inside the same clock
+  // tick (concurrent service lanes) still never collide.
+  static std::atomic<std::uint64_t> seq{0};
+  std::string stem = dir + "/vpar_postmortem.";
+  if (!label.empty()) {
+    for (char c : label) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_';
+      stem += ok ? c : '-';
+    }
+    stem += '.';
+  }
+  stem += std::to_string(now_ns() / 1'000'000) + "-" +
+          std::to_string(seq.fetch_add(1, std::memory_order_relaxed) + 1);
+  const std::string trace_path = stem + ".trace.json";
   if (!export_chrome_trace(trace_path, reason)) return {};
-  std::ofstream metrics_out(dir + "/vpar_postmortem.metrics.json");
+  std::ofstream metrics_out(stem + ".metrics.json");
   if (metrics_out) Metrics::instance().snapshot().write_json(metrics_out);
   return trace_path;
 }

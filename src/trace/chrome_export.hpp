@@ -22,12 +22,17 @@ void write_chrome_trace(std::ostream& out, const std::vector<ThreadTrace>& threa
 bool export_chrome_trace(const std::string& path, const std::string& reason = {});
 
 /// Post-mortem flight-recorder dump: when tracing is enabled, drain all
-/// rings and write <dir>/vpar_postmortem.trace.json plus a metrics snapshot
-/// to <dir>/vpar_postmortem.metrics.json, where dir is $VPAR_TRACE_DIR (or
-/// "."). The runtime calls this after a job fails (watchdog timeout, rank
-/// error, cooperative abort) — the last moments of every rank, with the
-/// failure reason embedded. Returns the trace path, or "" when tracing is
-/// off or the files cannot be written. Latest failure wins (overwrite).
-std::string write_postmortem(const std::string& reason);
+/// rings and write <dir>/vpar_postmortem.<label.><stamp>.trace.json plus a
+/// metrics snapshot to the matching .metrics.json, where dir is
+/// $VPAR_TRACE_DIR (or ".") and <stamp> is a timestamp plus a process-wide
+/// sequence number — concurrent or repeated failures each get their own
+/// files instead of overwriting one shared pair. `label` (optional,
+/// sanitized to [A-Za-z0-9_-]) tags the dump with a job identity. The
+/// runtime calls this after a job fails (watchdog timeout, rank error,
+/// cooperative abort) — the last moments of every rank, with the failure
+/// reason embedded. Returns the trace path, or "" when tracing is off or
+/// the files cannot be written.
+std::string write_postmortem(const std::string& reason,
+                             const std::string& label = {});
 
 }  // namespace vpar::trace

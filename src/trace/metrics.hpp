@@ -105,10 +105,26 @@ struct MetricsSnapshot {
   void write_csv(std::ostream& out) const;
 };
 
-/// Process-wide metrics registry: find-or-create named counters and
-/// histograms. The returned references are stable for the process lifetime.
+/// Metrics registry: find-or-create named counters and histograms. The
+/// returned references are stable for the registry's lifetime.
+///
+/// instance() is the process-wide registry most meters live on. Registries
+/// are also plain constructible objects, which is what gives concurrent
+/// multi-tenant callers *scoped* metrics: diffing two instance() snapshots
+/// attributes everything that happened in between to one region of interest,
+/// but under concurrency a neighbor's traffic lands in the same window. A
+/// dedicated Metrics scope per job (or per tenant) is populated only from
+/// that job's own results, so its snapshot cannot be contaminated by
+/// whatever ran beside it — the service layer's per-job/per-tenant log2
+/// histograms are exactly such scopes.
 class Metrics {
  public:
+  /// A fresh, empty scoped registry (see class comment).
+  Metrics() = default;
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  /// The process-wide registry.
   static Metrics& instance();
 
   Counter& counter(std::string_view name);
@@ -117,8 +133,6 @@ class Metrics {
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
  private:
-  Metrics() = default;
-
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;

@@ -9,9 +9,12 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "gtc/simulation.hpp"
 #include "lbmhd/simulation.hpp"
 #include "simrt/runtime.hpp"
+#include "trace/metrics.hpp"
 
 namespace vpar::simrt {
 namespace {
@@ -436,6 +439,148 @@ TEST(RetryPolicy, DisarmsFaultPlanOnRetry) {
   const RetryResult r = run_with_retry(
       options, [](Communicator& comm) { comm.barrier(); });
   EXPECT_EQ(r.attempts, 2);
+}
+
+// --- per-job deadlines -------------------------------------------------------
+
+TEST(Deadline, AbortsRunningJobAndNamesTheOverrun) {
+  RunOptions options;
+  options.size = 2;
+  options.deadline = std::chrono::steady_clock::now() + 100ms;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    run(options, [](Communicator& comm) {
+      int v = 0;
+      const int peer = comm.rank() == 0 ? 1 : 0;
+      comm.recv<int>(peer, std::span<int>(&v, 1), 9);  // never sent
+    });
+    FAIL() << "job survived its deadline";
+  } catch (const DeadlineExceeded& e) {
+    EXPECT_TRUE(contains(e.what(), "deadline")) << e.what();
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, 5s);  // killed by the deadline, not a test timeout
+}
+
+TEST(Deadline, GenerousDeadlineDoesNotPerturbTheJob) {
+  RunOptions options;
+  options.size = 2;
+  options.deadline = std::chrono::steady_clock::now() + 30s;
+  const RunResult r = run(options, [](Communicator& comm) { comm.barrier(); });
+  EXPECT_EQ(r.size(), 2);
+}
+
+// The deadline is an absolute budget: once it fires, rerunning cannot buy it
+// back, so the retry loop must rethrow instead of retrying.
+TEST(Deadline, ExpiredBudgetIsNeverRetried) {
+  std::atomic<int> attempts{0};
+  RunOptions options;
+  options.size = 2;
+  options.deadline = std::chrono::steady_clock::now() + 80ms;
+  RetryPolicy policy;
+  policy.max_retries = 5;
+  policy.backoff = 1ms;
+  EXPECT_THROW(run_with_retry(
+                   options,
+                   [&](Communicator& comm) {
+                     if (comm.rank() == 0) attempts.fetch_add(1);
+                     int v = 0;
+                     const int peer = comm.rank() == 0 ? 1 : 0;
+                     comm.recv<int>(peer, std::span<int>(&v, 1), 9);
+                   },
+                   policy),
+               DeadlineExceeded);
+  EXPECT_EQ(attempts.load(), 1);
+}
+
+// A retry whose backoff pause alone would sleep past the deadline is not
+// attempted: the failure is rethrown immediately with the budget intact.
+TEST(RetryPolicy, NoRetryWhosePauseWouldSleepPastTheDeadline) {
+  std::atomic<int> attempts{0};
+  RunOptions options;
+  options.size = 2;
+  options.watchdog = 5s;
+  options.deadline = std::chrono::steady_clock::now() + 200ms;
+  RetryPolicy policy;
+  policy.max_retries = 3;
+  policy.backoff = std::chrono::milliseconds{10'000};
+  EXPECT_THROW(run_with_retry(
+                   options,
+                   [&](Communicator& comm) {
+                     if (comm.rank() == 0) {
+                       attempts.fetch_add(1);
+                       throw std::runtime_error("permanent");
+                     }
+                     comm.barrier();
+                   },
+                   policy),
+               RankError);
+  EXPECT_EQ(attempts.load(), 1);
+}
+
+// --- backoff shape -----------------------------------------------------------
+
+TEST(RetryPolicy, BackoffGrowsExponentiallyToTheCap) {
+  RetryPolicy policy;
+  policy.backoff = 10ms;
+  policy.backoff_factor = 2.0;
+  policy.max_backoff = 80ms;
+  policy.jitter = 0.0;
+  EXPECT_EQ(retry_backoff(policy, 0), 10ms);
+  EXPECT_EQ(retry_backoff(policy, 1), 20ms);
+  EXPECT_EQ(retry_backoff(policy, 2), 40ms);
+  EXPECT_EQ(retry_backoff(policy, 3), 80ms);
+  EXPECT_EQ(retry_backoff(policy, 9), 80ms);  // capped, no overflow
+}
+
+TEST(RetryPolicy, JitterIsBoundedDeterministicAndSeedDependent) {
+  RetryPolicy policy;
+  policy.backoff = 1000ms;
+  policy.backoff_factor = 2.0;
+  policy.max_backoff = std::chrono::milliseconds{0};  // uncapped
+  policy.jitter = 0.5;
+  std::vector<std::chrono::milliseconds> pauses;
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    policy.jitter_seed = seed;
+    const auto pause = retry_backoff(policy, 2);  // base 4000ms
+    EXPECT_GE(pause, 2000ms) << "seed " << seed;
+    EXPECT_LE(pause, 4000ms) << "seed " << seed;
+    EXPECT_EQ(pause, retry_backoff(policy, 2)) << "seed " << seed;
+    pauses.push_back(pause);
+  }
+  std::sort(pauses.begin(), pauses.end());
+  pauses.erase(std::unique(pauses.begin(), pauses.end()), pauses.end());
+  EXPECT_GT(pauses.size(), 1u);  // seeds actually de-synchronize the herd
+}
+
+// Every attempt bumps retry.attempts on the process-wide registry; an
+// exhausted chain bumps retry.giveups as the failure is rethrown.
+TEST(RetryPolicy, MetersAttemptsAndGiveups) {
+  const auto before = trace::Metrics::instance().snapshot();
+  RunOptions options;
+  options.size = 2;
+  options.watchdog = 5s;
+  RetryPolicy policy;
+  policy.max_retries = 1;
+  policy.backoff = 1ms;
+  const RetryResult ok = run_with_retry(
+      options, [](Communicator& comm) { comm.barrier(); }, policy);
+  EXPECT_EQ(ok.attempts, 1);
+  EXPECT_THROW(run_with_retry(
+                   options,
+                   [](Communicator& comm) {
+                     if (comm.rank() == 0) throw std::runtime_error("permanent");
+                     comm.barrier();
+                   },
+                   policy),
+               RankError);
+  const auto diff = trace::Metrics::instance().snapshot().diff(before);
+  const auto counter = [&](const char* name) {
+    const auto it = diff.counters.find(name);
+    return it == diff.counters.end() ? std::uint64_t{0} : it->second;
+  };
+  EXPECT_EQ(counter("retry.attempts"), 3u);  // 1 success + 2 failed attempts
+  EXPECT_EQ(counter("retry.giveups"), 1u);
 }
 
 // --- chaos vs clean application runs ----------------------------------------

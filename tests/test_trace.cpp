@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <map>
@@ -47,6 +49,22 @@ std::vector<Event> all_events() {
   for (const auto& t : drain_all()) {
     out.insert(out.end(), t.events.begin(), t.events.end());
   }
+  return out;
+}
+
+/// Post-mortem dumps in `dir` ending in `suffix`, sorted (filenames carry a
+/// per-failure timestamp + sequence stamp, so tests glob instead of guessing).
+std::vector<std::string> postmortem_files(const std::string& dir,
+                                          const std::string& suffix) {
+  std::vector<std::string> out;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("vpar_postmortem.", 0) == 0 && name.size() >= suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      out.push_back(entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -360,7 +378,9 @@ TEST_F(TraceTest, JobSpansCarryRankAttribution) {
 
 TEST_F(TraceTest, WatchdogTimeoutWritesPostmortem) {
   set_mode(Mode::Flight);
-  const std::string dir = ::testing::TempDir();
+  const std::string dir = ::testing::TempDir() + "pm_watchdog";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
   ASSERT_EQ(setenv("VPAR_TRACE_DIR", dir.c_str(), 1), 0);
 
   simrt::RunOptions options;
@@ -377,7 +397,12 @@ TEST_F(TraceTest, WatchdogTimeoutWritesPostmortem) {
                simrt::WatchdogTimeout);
   unsetenv("VPAR_TRACE_DIR");
 
-  const std::string text = slurp(dir + "/vpar_postmortem.trace.json");
+  // Filenames are per-failure (timestamp + sequence): find the dump instead
+  // of assuming a fixed name.
+  const std::vector<std::string> traces =
+      postmortem_files(dir, ".trace.json");
+  ASSERT_EQ(traces.size(), 1u);
+  const std::string text = slurp(traces[0]);
   ASSERT_FALSE(text.empty());
   ASSERT_NO_THROW(parse_json_keys(text)) << text.substr(0, 400);
   // The dump carries the abort reason and the last moments of both ranks.
@@ -388,17 +413,47 @@ TEST_F(TraceTest, WatchdogTimeoutWritesPostmortem) {
   EXPECT_NE(text.find("\"rank\":0"), std::string::npos);
   EXPECT_NE(text.find("\"rank\":1"), std::string::npos);
 
-  const std::string metrics = slurp(dir + "/vpar_postmortem.metrics.json");
+  const std::vector<std::string> metrics_files =
+      postmortem_files(dir, ".metrics.json");
+  ASSERT_EQ(metrics_files.size(), 1u);
+  const std::string metrics = slurp(metrics_files[0]);
   ASSERT_FALSE(metrics.empty());
   ASSERT_NO_THROW(parse_json_keys(metrics)) << metrics.substr(0, 400);
   EXPECT_NE(metrics.find("simrt.aborts_observed"), std::string::npos);
-  std::remove((dir + "/vpar_postmortem.trace.json").c_str());
-  std::remove((dir + "/vpar_postmortem.metrics.json").c_str());
+  std::filesystem::remove_all(dir);
 }
 
 TEST_F(TraceTest, PostmortemSkippedWhenTracingOff) {
   set_mode(Mode::Off);
   EXPECT_EQ(write_postmortem("nothing to see"), "");
+}
+
+// Concurrent failing jobs used to overwrite one shared vpar_postmortem pair;
+// filenames now carry a label, a timestamp and a sequence number, so every
+// failure keeps its own dump.
+TEST_F(TraceTest, PostmortemFilenamesAreUniqueAndLabelled) {
+  set_mode(Mode::Flight);
+  const std::string dir = ::testing::TempDir() + "pm_unique";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  ASSERT_EQ(setenv("VPAR_TRACE_DIR", dir.c_str(), 1), 0);
+  emit_instant("pm.test");
+  const std::string first = write_postmortem("first failure", "job-1");
+  const std::string second = write_postmortem("second failure", "job-2");
+  const std::string third = write_postmortem("unlabelled");
+  unsetenv("VPAR_TRACE_DIR");
+
+  ASSERT_FALSE(first.empty());
+  ASSERT_FALSE(second.empty());
+  ASSERT_FALSE(third.empty());
+  EXPECT_NE(first, second);
+  EXPECT_NE(second, third);
+  EXPECT_NE(first.find("vpar_postmortem.job-1."), std::string::npos) << first;
+  EXPECT_NE(second.find("vpar_postmortem.job-2."), std::string::npos) << second;
+  // All three dumps (and their metrics snapshots) coexist on disk.
+  EXPECT_EQ(postmortem_files(dir, ".trace.json").size(), 3u);
+  EXPECT_EQ(postmortem_files(dir, ".metrics.json").size(), 3u);
+  std::filesystem::remove_all(dir);
 }
 
 // --- fault-mode integration --------------------------------------------------
