@@ -35,6 +35,7 @@
 #include "lbmhd/simulation.hpp"
 #include "service/job_server.hpp"
 #include "simrt/communicator.hpp"
+#include "simrt/transport.hpp"
 #include "trace/metrics.hpp"
 
 namespace {
@@ -354,6 +355,9 @@ int main(int argc, char** argv) {
 
   std::string json;
   json += "{\n";
+  json += std::string("  \"transport\": \"") +
+          vpar::simrt::to_string(vpar::simrt::transport_kind_from_env()) +
+          "\",\n";
   json += "  \"jobs\": " + std::to_string(jobs) + ",\n";
   json += "  \"lanes\": " + std::to_string(lanes) + ",\n";
   json += "  \"seed\": " + std::to_string(seed) + ",\n";

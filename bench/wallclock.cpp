@@ -43,6 +43,7 @@
 #include "simrt/locality.hpp"
 #include "simrt/parallel.hpp"
 #include "simrt/runtime.hpp"
+#include "simrt/transport.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 
@@ -698,7 +699,9 @@ int main(int argc, char** argv) {
     std::cerr << "wallclock: cannot open " << out_path << "\n";
     return 1;
   }
-  out << "{\n  \"schema\": \"vpar-wallclock-v1\",\n  \"benches\": [\n";
+  out << "{\n  \"schema\": \"vpar-wallclock-v1\",\n  \"transport\": \""
+      << vpar::simrt::to_string(vpar::simrt::transport_kind_from_env())
+      << "\",\n  \"benches\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     out << "    {\"name\": \"" << r.name << "\", \"procs\": " << r.procs

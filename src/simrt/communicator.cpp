@@ -23,7 +23,7 @@ void Communicator::raw_send(int dest, Payload payload, int tag) {
     trace::emit_flow_begin("msg", msg.trace_id);
   }
   msg.payload = std::move(payload);
-  state_->mailboxes[static_cast<std::size_t>(dest)].deliver(std::move(msg));
+  state_->transport->send(dest, std::move(msg));
 }
 
 Message Communicator::raw_receive(int source, int tag, const char* what) {
@@ -69,7 +69,7 @@ void Communicator::barrier() {
   const int P = size();
   trace::TraceSpan span("comm.barrier", P);
   begin_op("barrier");
-  if (P <= kBarrierRendezvousMax) {
+  if (P <= kBarrierRendezvousMax && !state_->multiprocess()) {
     // Small teams: the centralized rendezvous is one shared cacheline and a
     // single sleep/wake per rank; measured faster than log-depth message
     // rounds up to ~8 ranks on the harness host (the algorithm switch by

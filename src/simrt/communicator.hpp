@@ -16,6 +16,7 @@
 #include "simrt/mailbox.hpp"
 #include "simrt/rendezvous.hpp"
 #include "simrt/request.hpp"
+#include "simrt/transport.hpp"
 #include "trace/trace.hpp"
 
 namespace vpar::simrt {
@@ -31,7 +32,8 @@ struct RuntimeState {
         rendezvous(size_in),
         recorders(static_cast<std::size_t>(size_in)),
         placed(static_cast<std::size_t>(size_in), 0),
-        control(size_in) {
+        control(size_in),
+        transport(std::make_unique<InprocTransport>(mailboxes)) {
     for (int r = 0; r < size_in; ++r) {
       mailboxes[static_cast<std::size_t>(r)].attach(&control, r);
     }
@@ -43,6 +45,17 @@ struct RuntimeState {
       rendezvous.abort_wake();
     });
   }
+
+  /// Swap in a multi-process backend (done once by the distributed bootstrap
+  /// before any Communicator is constructed on this state). The state's own
+  /// mailboxes stay the receive side — only this process's rank's inbox is
+  /// ever populated; routing to every other rank crosses the wire.
+  void install_transport(std::unique_ptr<Transport> t) {
+    transport = std::move(t);
+  }
+
+  /// True when this job's ranks live in separate processes.
+  [[nodiscard]] bool multiprocess() const { return transport->multiprocess(); }
 
   /// Restore the state for reuse by a subsequent job on the same pooled
   /// executor: drop stale messages, shared objects and instrumentation.
@@ -85,6 +98,7 @@ struct RuntimeState {
   std::vector<perf::Recorder> recorders;
   std::vector<char> placed;  // per-rank first-touch-done flags
   JobControl control;
+  std::unique_ptr<Transport> transport;  // message routing backend (see transport.hpp)
 };
 
 /// MPI-flavoured communicator bound to one rank of a simulated job.
@@ -466,6 +480,14 @@ class Communicator {
   template <typename T>
   std::shared_ptr<T> shared_object(const std::string& name,
                                    const std::function<std::shared_ptr<T>()>& make) {
+    if (size() > 1 && state_->multiprocess()) {
+      // Each rank process has its own address space; a "shared" object here
+      // would silently be per-rank. Fail loudly instead of computing wrong
+      // answers — CAF-style exchanges require the inproc backend.
+      throw std::runtime_error(
+          "shared_object('" + name +
+          "'): cross-rank shared objects require the inproc transport");
+    }
     std::shared_ptr<T> object;
     {
       std::lock_guard lock(state_->registry_mutex);

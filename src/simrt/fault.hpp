@@ -41,6 +41,22 @@ class DeadlineExceeded : public JobAborted {
   using JobAborted::JobAborted;
 };
 
+/// JobAborted raised when a multi-process transport's peer-failure detector
+/// declares one or more rank processes dead (missed heartbeats or a closed
+/// connection). what() carries the per-rank liveness report; lost_ranks()
+/// the dead ranks. The harness-level answer is elastic restart: relaunch
+/// the job and restore every rank from its last checkpoint (see
+/// docs/transport.md).
+class PeerLost : public JobAborted {
+ public:
+  PeerLost(std::vector<int> ranks, const std::string& message)
+      : JobAborted(message), ranks_(std::move(ranks)) {}
+  [[nodiscard]] const std::vector<int>& lost_ranks() const { return ranks_; }
+
+ private:
+  std::vector<int> ranks_;
+};
+
 /// Thrown by the fault injector when the plan kills this rank.
 class InjectedFault : public std::runtime_error {
  public:

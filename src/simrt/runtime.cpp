@@ -9,6 +9,7 @@
 #include <string>
 
 #include "simrt/arena_policy.hpp"
+#include "simrt/distributed.hpp"
 #include "simrt/locality.hpp"
 #include "trace/chrome_export.hpp"
 #include "trace/metrics.hpp"
@@ -766,6 +767,14 @@ RunResult run(const RunOptions& options,
               const std::function<void(Communicator&)>& body) {
   if (options.size <= 0) {
     throw std::runtime_error("simrt::run: size must be positive");
+  }
+  // Multi-process dispatch: when this process was launched as one rank of a
+  // VPAR_TRANSPORT=shm|socket job and the requested size matches the team,
+  // the job runs distributed — this process executes its rank, peers run
+  // theirs. Other sizes (nested helpers, local utility runs) stay in-process.
+  if (!t_in_worker && !in_distributed_body() && distributed_env_active() &&
+      options.size == distributed_world()) {
+    return run_distributed(with_defaults(options), body);
   }
   if (t_in_worker) return run_spawned(with_defaults(options), body);
   return Executor::shared().run(options, body);

@@ -1,0 +1,507 @@
+#include "simrt/transport_shm.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace vpar::simrt {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Shared meter names with the socket backend: the transport dashboard does
+/// not care which multi-process pipe carried the frames.
+struct TransportMeters {
+  trace::Counter& sent_frames =
+      trace::Metrics::instance().counter("transport.sent_frames");
+  trace::Counter& sent_bytes =
+      trace::Metrics::instance().counter("transport.sent_bytes");
+  trace::Counter& recv_frames =
+      trace::Metrics::instance().counter("transport.recv_frames");
+  trace::Counter& recv_bytes =
+      trace::Metrics::instance().counter("transport.recv_bytes");
+  trace::Counter& peers_lost =
+      trace::Metrics::instance().counter("transport.peers_lost");
+};
+
+TransportMeters& meters() {
+  static TransportMeters m;
+  return m;
+}
+
+constexpr std::size_t align64(std::size_t n) { return (n + 63) & ~std::size_t{63}; }
+
+/// Ceiling on one frame's payload accepted from a ring: a corrupted length
+/// would otherwise make the reassembler wait forever for bytes that never
+/// come. Far above any payload the runtime produces.
+constexpr std::uint64_t kMaxShmPayload = std::uint64_t{1} << 31;
+
+}  // namespace
+
+/// Per-rank liveness slot in the segment header. Cacheline-aligned so one
+/// rank's heartbeat stores never bounce another rank's slot.
+struct alignas(64) ShmRankSlot {
+  std::atomic<std::uint64_t> heartbeat;
+  std::atomic<std::uint32_t> attached;
+  std::atomic<std::uint32_t> finished;
+  std::atomic<std::uint32_t> failed;
+};
+
+struct ShmSegment {
+  std::atomic<std::uint32_t> magic;  // kFrameMagic, stored last by the creator
+  std::uint32_t version;
+  std::int32_t world;
+  std::uint32_t pad;
+  std::uint64_t ring_bytes;
+  ShmRankSlot ranks[kShmMaxWorld];
+};
+
+/// SPSC byte ring. head counts bytes ever produced, tail bytes ever
+/// consumed; both only grow, indices are taken modulo the capacity. The
+/// producer's release store of head publishes the data; the consumer's
+/// release store of tail publishes the free space.
+struct alignas(64) ShmRing {
+  std::atomic<std::uint64_t> head;
+  std::atomic<std::uint64_t> tail;
+  // Ring storage (config.ring_bytes bytes) follows this header in the
+  // segment; data() reaches past the struct.
+  [[nodiscard]] std::byte* data() {
+    return reinterpret_cast<std::byte*>(this) + align64(sizeof(ShmRing));
+  }
+};
+
+namespace {
+
+constexpr std::size_t segment_header_bytes() {
+  return align64(sizeof(ShmSegment));
+}
+
+std::size_t ring_block_bytes(std::size_t ring_bytes) {
+  return align64(align64(sizeof(ShmRing)) + ring_bytes);
+}
+
+std::size_t segment_bytes(int world, std::size_t ring_bytes) {
+  return segment_header_bytes() +
+         static_cast<std::size_t>(world) * static_cast<std::size_t>(world) *
+             ring_block_bytes(ring_bytes);
+}
+
+}  // namespace
+
+ShmTransport::ShmTransport(const Config& config, std::vector<Mailbox>& mailboxes,
+                           JobControl& control)
+    : config_(config), mailboxes_(&mailboxes), control_(&control) {
+  if (config_.world < 1 || config_.world > kShmMaxWorld || config_.rank < 0 ||
+      config_.rank >= config_.world) {
+    throw TransportError("shm transport: bad rank/world (" +
+                         std::to_string(config_.rank) + "/" +
+                         std::to_string(config_.world) + ", max world " +
+                         std::to_string(kShmMaxWorld) + ")");
+  }
+  if (config_.name.empty() || config_.name[0] != '/') {
+    throw TransportError("shm transport: segment name must start with '/'");
+  }
+  if (config_.ring_bytes < 4096) config_.ring_bytes = 4096;
+  config_.ring_bytes = align64(config_.ring_bytes);
+
+  peers_.resize(static_cast<std::size_t>(config_.world));
+  for (auto& p : peers_) p = std::make_unique<PeerWatch>();
+
+  create_or_attach();
+
+  // Announce this rank, then wait for the whole team: a send into a ring
+  // whose consumer never arrives must fail at bring-up, not hang mid-job.
+  segment_->ranks[config_.rank].attached.store(1, std::memory_order_release);
+  const auto deadline =
+      std::chrono::steady_clock::now() + config_.connect_timeout;
+  for (int r = 0; r < config_.world; ++r) {
+    while (segment_->ranks[r].attached.load(std::memory_order_acquire) == 0) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        throw TransportError("shm transport: rank " + std::to_string(r) +
+                             " did not attach within the connect timeout");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  const std::uint64_t now = now_ns();
+  for (auto& p : peers_) p->last_change_ns = now;
+  poller_ = std::thread([this] { poll_loop(); });
+}
+
+ShmTransport::~ShmTransport() {
+  if (segment_ != nullptr) {
+    auto& slot = segment_->ranks[config_.rank];
+    if (local_failure_.load(std::memory_order_acquire)) {
+      slot.failed.store(1, std::memory_order_release);
+    } else {
+      slot.finished.store(1, std::memory_order_release);
+    }
+  }
+  stopping_.store(true, std::memory_order_release);
+  if (poller_.joinable()) poller_.join();
+  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+  if (shm_fd_ >= 0) ::close(shm_fd_);
+  if (creator_) ::shm_unlink(config_.name.c_str());
+}
+
+void ShmTransport::create_or_attach() {
+  map_bytes_ = segment_bytes(config_.world, config_.ring_bytes);
+
+  if (config_.rank == 0) {
+    // Creator: claim the name exclusively (unlinking any stale segment a
+    // crashed previous job left behind), size it, init, publish via magic.
+    ::shm_unlink(config_.name.c_str());
+    shm_fd_ = ::shm_open(config_.name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+    if (shm_fd_ < 0) {
+      throw TransportError("shm transport: shm_open(create " + config_.name +
+                           ") failed (" + std::strerror(errno) + ")");
+    }
+    creator_ = true;
+    if (::ftruncate(shm_fd_, static_cast<off_t>(map_bytes_)) < 0) {
+      throw TransportError("shm transport: ftruncate(" +
+                           std::to_string(map_bytes_) + ") failed (" +
+                           std::strerror(errno) + ")");
+    }
+    map_ = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE, MAP_SHARED,
+                  shm_fd_, 0);
+    if (map_ == MAP_FAILED) {
+      map_ = nullptr;
+      throw TransportError("shm transport: mmap failed (" +
+                           std::string(std::strerror(errno)) + ")");
+    }
+    segment_ = static_cast<ShmSegment*>(map_);
+    // ftruncate zero-fills; the atomics' zero representation is their
+    // initialized state. Fill the geometry, then publish with the magic.
+    segment_->version = kFrameVersion;
+    segment_->world = config_.world;
+    segment_->ring_bytes = config_.ring_bytes;
+    segment_->magic.store(kFrameMagic, std::memory_order_release);
+    return;
+  }
+
+  // Attacher: retry until the creator has published the segment.
+  const auto deadline =
+      std::chrono::steady_clock::now() + config_.connect_timeout;
+  for (;;) {
+    shm_fd_ = ::shm_open(config_.name.c_str(), O_RDWR, 0600);
+    if (shm_fd_ >= 0) {
+      struct stat st{};
+      if (::fstat(shm_fd_, &st) == 0 &&
+          static_cast<std::size_t>(st.st_size) >= map_bytes_) {
+        map_ = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE, MAP_SHARED,
+                      shm_fd_, 0);
+        if (map_ == MAP_FAILED) {
+          map_ = nullptr;
+          throw TransportError("shm transport: mmap failed (" +
+                               std::string(std::strerror(errno)) + ")");
+        }
+        segment_ = static_cast<ShmSegment*>(map_);
+        if (segment_->magic.load(std::memory_order_acquire) == kFrameMagic) {
+          break;
+        }
+        // Mapped before the creator published; unmap and retry.
+        ::munmap(map_, map_bytes_);
+        map_ = nullptr;
+        segment_ = nullptr;
+      }
+      ::close(shm_fd_);
+      shm_fd_ = -1;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw TransportError("shm transport: segment " + config_.name +
+                           " not published within the connect timeout");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  if (segment_->world != config_.world ||
+      segment_->ring_bytes != config_.ring_bytes) {
+    throw TransportError(
+        "shm transport: geometry mismatch (segment world " +
+        std::to_string(segment_->world) + " ring " +
+        std::to_string(segment_->ring_bytes) + ", expected world " +
+        std::to_string(config_.world) + " ring " +
+        std::to_string(config_.ring_bytes) + ")");
+  }
+}
+
+ShmRing& ShmTransport::ring_between(int source, int dest) const {
+  auto* base = static_cast<std::byte*>(map_) + segment_header_bytes();
+  const std::size_t index =
+      static_cast<std::size_t>(source) * static_cast<std::size_t>(config_.world) +
+      static_cast<std::size_t>(dest);
+  return *reinterpret_cast<ShmRing*>(base +
+                                  index * ring_block_bytes(config_.ring_bytes));
+}
+
+void ShmTransport::ring_write(int dest, ShmRing& ring,
+                              std::span<const std::byte> data) {
+  PeerWatch& watch = *peers_[static_cast<std::size_t>(dest)];
+  const std::size_t cap = config_.ring_bytes;
+  std::byte* storage = ring.data();
+  while (!data.empty()) {
+    const std::uint64_t head = ring.head.load(std::memory_order_relaxed);
+    const std::uint64_t tail = ring.tail.load(std::memory_order_acquire);
+    const std::size_t space = cap - static_cast<std::size_t>(head - tail);
+    if (space == 0) {
+      // Full ring = backpressure. A consumer that died stops draining: the
+      // liveness detector flips `lost` and releases this wait as a failure.
+      if (watch.lost.load(std::memory_order_acquire)) {
+        throw TransportError("send: rank " + std::to_string(dest) +
+                             " is lost (ring not draining)");
+      }
+      if (stopping_.load(std::memory_order_acquire)) {
+        throw TransportError("send: transport shutting down");
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      continue;
+    }
+    const std::size_t n = std::min(space, data.size());
+    const std::size_t at = static_cast<std::size_t>(head % cap);
+    const std::size_t first = std::min(n, cap - at);
+    std::memcpy(storage + at, data.data(), first);
+    if (n > first) std::memcpy(storage, data.data() + first, n - first);
+    ring.head.store(head + n, std::memory_order_release);
+    data = data.subspan(n);
+  }
+}
+
+void ShmTransport::send(int dest, Message msg) {
+  if (dest == config_.rank) {
+    // Self-delivery (P=1 collectives): no ring, straight to the inbox.
+    (*mailboxes_)[static_cast<std::size_t>(dest)].deliver(std::move(msg));
+    return;
+  }
+  PeerWatch& watch = *peers_[static_cast<std::size_t>(dest)];
+  if (watch.lost.load(std::memory_order_acquire)) {
+    throw TransportError("send: rank " + std::to_string(dest) +
+                         " is lost (peer process died)");
+  }
+  const FrameHeader header = encode_frame(msg);
+  ShmRing& ring = ring_between(config_.rank, dest);
+  {
+    std::lock_guard lock(send_mutex_);
+    ring_write(dest, ring,
+               std::span<const std::byte>(
+                   reinterpret_cast<const std::byte*>(&header), sizeof header));
+    ring_write(dest, ring, msg.payload.bytes());
+  }
+  TransportMeters& m = meters();
+  m.sent_frames.add();
+  m.sent_bytes.add(sizeof header + msg.payload.size());
+}
+
+std::size_t ShmTransport::poll_peer(int source) {
+  PeerWatch& watch = *peers_[static_cast<std::size_t>(source)];
+  ShmRing& ring = ring_between(source, config_.rank);
+  const std::size_t cap = config_.ring_bytes;
+  const std::byte* storage = ring.data();
+
+  // 1. Move whatever the producer has published into the reassembly buffer.
+  const std::uint64_t head = ring.head.load(std::memory_order_acquire);
+  const std::uint64_t tail = ring.tail.load(std::memory_order_relaxed);
+  const std::size_t avail = static_cast<std::size_t>(head - tail);
+  if (avail > 0) {
+    const std::size_t old = watch.inbound.size();
+    watch.inbound.resize(old + avail);
+    const std::size_t at = static_cast<std::size_t>(tail % cap);
+    const std::size_t first = std::min(avail, cap - at);
+    std::memcpy(watch.inbound.data() + old, storage + at, first);
+    if (avail > first) {
+      std::memcpy(watch.inbound.data() + old + first, storage, avail - first);
+    }
+    ring.tail.store(tail + avail, std::memory_order_release);
+  }
+
+  // 2. Parse every complete frame sitting in the buffer.
+  TransportMeters& m = meters();
+  for (;;) {
+    const std::size_t have = watch.inbound.size() - watch.consumed;
+    if (have < sizeof(FrameHeader)) break;
+    FrameHeader header;
+    std::memcpy(&header, watch.inbound.data() + watch.consumed, sizeof header);
+    if (header.magic != kFrameMagic || header.payload_bytes > kMaxShmPayload) {
+      throw TransportError("shm frame: stream desynchronized (source " +
+                           std::to_string(source) + ")");
+    }
+    if (have < sizeof header + header.payload_bytes) break;
+    const std::span<const std::byte> payload(
+        watch.inbound.data() + watch.consumed + sizeof header,
+        static_cast<std::size_t>(header.payload_bytes));
+    verify_frame(header, payload);
+    switch (static_cast<FrameType>(header.type)) {
+      case FrameType::Data:
+        m.recv_frames.add();
+        m.recv_bytes.add(sizeof header + payload.size());
+        (*mailboxes_)[static_cast<std::size_t>(config_.rank)].deliver(
+            decode_message(header, payload));
+        break;
+      case FrameType::Heartbeat:
+      case FrameType::Goodbye:
+        break;  // liveness rides in the segment header, not in frames
+      case FrameType::Hello:
+        throw TransportError("shm frame: unexpected Hello");
+    }
+    watch.consumed += sizeof header + static_cast<std::size_t>(header.payload_bytes);
+  }
+
+  // 3. Compact once the parsed prefix dominates the buffer.
+  if (watch.consumed > 0 && watch.consumed * 2 >= watch.inbound.size()) {
+    watch.inbound.erase(watch.inbound.begin(),
+                        watch.inbound.begin() +
+                            static_cast<std::ptrdiff_t>(watch.consumed));
+    watch.consumed = 0;
+  }
+  return avail;
+}
+
+void ShmTransport::check_liveness(std::uint64_t now) {
+  for (int r = 0; r < config_.world; ++r) {
+    if (r == config_.rank) continue;
+    PeerWatch& watch = *peers_[static_cast<std::size_t>(r)];
+    if (watch.lost.load(std::memory_order_relaxed) ||
+        watch.finished.load(std::memory_order_relaxed)) {
+      continue;
+    }
+    const ShmRankSlot& slot = segment_->ranks[r];
+    if (slot.failed.load(std::memory_order_acquire) != 0) {
+      mark_lost(r, "rank reported failure");
+      continue;
+    }
+    if (slot.finished.load(std::memory_order_acquire) != 0) {
+      watch.finished.store(true, std::memory_order_release);
+      continue;
+    }
+    const std::uint64_t beat = slot.heartbeat.load(std::memory_order_acquire);
+    if (beat != watch.last_beat) {
+      watch.last_beat = beat;
+      watch.last_change_ns = now;
+      continue;
+    }
+    if (config_.peer_timeout.count() > 0) {
+      const auto silence = std::chrono::nanoseconds(now - watch.last_change_ns);
+      if (silence > config_.peer_timeout) {
+        mark_lost(r, "heartbeat counter stalled for " +
+                         std::to_string(std::chrono::duration_cast<
+                                            std::chrono::milliseconds>(silence)
+                                            .count()) +
+                         " ms");
+      }
+    }
+  }
+}
+
+void ShmTransport::poll_loop() {
+  auto& my_beat = segment_->ranks[config_.rank].heartbeat;
+  std::uint64_t last_beat_ns = 0;
+  std::uint64_t last_check_ns = 0;
+  const auto beat_period = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               config_.heartbeat)
+                               .count();
+  try {
+    while (!stopping_.load(std::memory_order_acquire)) {
+      std::size_t moved = 0;
+      for (int r = 0; r < config_.world; ++r) {
+        if (r == config_.rank) continue;
+        if (peers_[static_cast<std::size_t>(r)]->lost.load(
+                std::memory_order_relaxed)) {
+          continue;
+        }
+        try {
+          moved += poll_peer(r);
+        } catch (const std::exception& e) {
+          mark_lost(r, e.what());
+        }
+      }
+      const std::uint64_t now = now_ns();
+      // The heartbeat period paces the counter bumps and liveness sampling;
+      // the poll itself runs much hotter so latency stays low.
+      if (now - last_beat_ns >=
+          static_cast<std::uint64_t>(std::max<long long>(beat_period / 4, 1))) {
+        my_beat.fetch_add(1, std::memory_order_release);
+        last_beat_ns = now;
+      }
+      if (now - last_check_ns >= static_cast<std::uint64_t>(beat_period)) {
+        check_liveness(now);
+        last_check_ns = now;
+      }
+      if (moved == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+  } catch (const std::exception& e) {
+    // A poller that dies silently would freeze the whole inbound side.
+    if (!stopping_.load(std::memory_order_acquire)) {
+      control_->abort(std::string("shm transport poller failed: ") + e.what());
+    }
+  }
+}
+
+void ShmTransport::mark_lost(int peer_rank, const std::string& why) {
+  PeerWatch& watch = *peers_[static_cast<std::size_t>(peer_rank)];
+  if (watch.lost.exchange(true, std::memory_order_acq_rel)) return;
+  meters().peers_lost.add();
+  trace::emit_instant("transport.peer_lost", peer_rank);
+  const std::string reason = "peer lost: rank " + std::to_string(peer_rank) +
+                             " (" + why + ")\n" + peer_report();
+  {
+    std::lock_guard lock(failure_mutex_);
+    if (failure_ == nullptr) {
+      failure_ = std::make_exception_ptr(PeerLost({peer_rank}, reason));
+    }
+  }
+  control_->abort(reason);
+}
+
+std::vector<int> ShmTransport::lost_peers() const {
+  std::vector<int> lost;
+  for (int r = 0; r < config_.world; ++r) {
+    if (r == config_.rank) continue;
+    if (peers_[static_cast<std::size_t>(r)]->lost.load(
+            std::memory_order_acquire)) {
+      lost.push_back(r);
+    }
+  }
+  return lost;
+}
+
+std::string ShmTransport::peer_report() const {
+  const std::uint64_t now = now_ns();
+  std::string report = "peer liveness (rank " + std::to_string(config_.rank) +
+                       " of " + std::to_string(config_.world) + ", shm):";
+  for (int r = 0; r < config_.world; ++r) {
+    if (r == config_.rank) continue;
+    const PeerWatch& watch = *peers_[static_cast<std::size_t>(r)];
+    report += "\n  rank " + std::to_string(r) + ": ";
+    if (watch.lost.load(std::memory_order_acquire)) {
+      report += "LOST";
+    } else if (watch.finished.load(std::memory_order_acquire)) {
+      report += "finished";
+    } else {
+      report += "alive, heartbeat advanced " +
+                std::to_string((now - watch.last_change_ns) / 1'000'000) +
+                " ms ago";
+    }
+  }
+  return report;
+}
+
+std::exception_ptr ShmTransport::failure() const {
+  std::lock_guard lock(failure_mutex_);
+  return failure_;
+}
+
+}  // namespace vpar::simrt

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "simrt/fault.hpp"
+#include "simrt/transport.hpp"
+
+namespace vpar::simrt {
+
+/// Largest world size the shared-memory segment is laid out for.
+inline constexpr int kShmMaxWorld = 64;
+
+struct ShmSegment;  // segment header (defined in transport_shm.cpp)
+struct ShmRing;     // shared-memory SPSC byte ring (defined in transport_shm.cpp)
+
+/// Backend #2: one process per rank on the same host; frames travel through
+/// world x world single-producer/single-consumer byte rings inside one POSIX
+/// shared-memory segment. The wire format is identical to the socket
+/// backend's (transport.hpp) — the ring is just a faster pipe.
+///
+/// Segment lifecycle: rank 0 creates and initializes the segment and
+/// publishes it by storing the magic word last (release); every other rank
+/// retries shm_open until the magic is valid and the geometry (world, ring
+/// size) matches, bounded by connect_timeout. Rank 0 unlinks the name on
+/// destruction; the mapping itself lives until the last rank unmaps.
+///
+/// Ring discipline: ring (s, d) carries frames from rank s to rank d; rank s
+/// is its only producer and rank d's poller thread its only consumer, so a
+/// head/tail release-acquire pair is the whole protocol. Writes are chunked
+/// and stream through the ring, so a frame larger than the ring still passes
+/// (the consumer drains while the producer refills). A full ring is
+/// backpressure, not failure — the producer waits, and a producer stuck on a
+/// dead consumer is released by the peer-failure detector.
+///
+/// Peer-failure detector: every rank's poller bumps a per-rank heartbeat
+/// counter in the segment header; a peer whose counter stalls past
+/// peer_timeout (or that set its `failed` flag on the way down) is declared
+/// lost — the job is cooperatively aborted and failure() carries a PeerLost
+/// with the per-rank liveness report.
+class ShmTransport final : public Transport {
+ public:
+  struct Config {
+    int rank = 0;
+    int world = 1;
+    /// POSIX shm name ("/vpar-<session>"); every rank of the job must agree.
+    std::string name;
+    /// Per-direction ring capacity in bytes (VPAR_SHM_RING overrides).
+    std::size_t ring_bytes = 256 * 1024;
+    std::chrono::milliseconds connect_timeout{10'000};
+    std::chrono::milliseconds heartbeat{200};
+    /// Peer heartbeat stalled for longer than this => lost. 0 disables the
+    /// detector (the explicit `failed` flag still triggers it).
+    std::chrono::milliseconds peer_timeout{2'000};
+  };
+
+  /// Creates (rank 0) or attaches to the segment, waits for every rank to
+  /// attach (bounded by connect_timeout), and starts the poller thread.
+  ShmTransport(const Config& config, std::vector<Mailbox>& mailboxes,
+               JobControl& control);
+  ~ShmTransport() override;
+
+  [[nodiscard]] TransportKind kind() const override {
+    return TransportKind::Shm;
+  }
+  [[nodiscard]] int world() const override { return config_.world; }
+  [[nodiscard]] bool multiprocess() const override { return true; }
+
+  void send(int dest, Message msg) override;
+
+  [[nodiscard]] std::vector<int> lost_peers() const override;
+  [[nodiscard]] std::string peer_report() const override;
+  [[nodiscard]] std::exception_ptr failure() const override;
+
+  void note_local_failure() override {
+    local_failure_.store(true, std::memory_order_release);
+  }
+
+ private:
+  /// Local (per-process) view of one peer's liveness.
+  struct PeerWatch {
+    std::uint64_t last_beat = 0;       // last heartbeat counter value seen
+    std::uint64_t last_change_ns = 0;  // when it last advanced (local clock)
+    std::atomic<bool> finished{false};
+    std::atomic<bool> lost{false};
+    /// Reassembly buffer for the inbound ring from this peer; frames may
+    /// arrive split across poll cycles.
+    std::vector<std::byte> inbound;
+    std::size_t consumed = 0;  // parsed prefix of `inbound`
+  };
+
+  void create_or_attach();
+  [[nodiscard]] ShmRing& ring_between(int source, int dest) const;
+  void ring_write(int dest, ShmRing& ring, std::span<const std::byte> data);
+  void poll_loop();
+  /// Drain whatever ring (source -> this rank) holds and parse any complete
+  /// frames out of the reassembly buffer. Returns bytes consumed this call.
+  std::size_t poll_peer(int source);
+  void check_liveness(std::uint64_t now);
+  void mark_lost(int peer_rank, const std::string& why);
+
+  Config config_;
+  std::vector<Mailbox>* mailboxes_;
+  JobControl* control_;
+
+  int shm_fd_ = -1;
+  void* map_ = nullptr;
+  std::size_t map_bytes_ = 0;
+  bool creator_ = false;
+  ShmSegment* segment_ = nullptr;
+
+  std::vector<std::unique_ptr<PeerWatch>> peers_;  // index = rank
+  std::mutex send_mutex_;  // app sends are serialized per process
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> local_failure_{false};
+  std::thread poller_;
+
+  mutable std::mutex failure_mutex_;
+  std::exception_ptr failure_;
+};
+
+}  // namespace vpar::simrt

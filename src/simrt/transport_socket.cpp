@@ -1,0 +1,460 @@
+#include "simrt/transport_socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace vpar::simrt {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Transport observability meters on the process registry.
+struct TransportMeters {
+  trace::Counter& sent_frames =
+      trace::Metrics::instance().counter("transport.sent_frames");
+  trace::Counter& sent_bytes =
+      trace::Metrics::instance().counter("transport.sent_bytes");
+  trace::Counter& recv_frames =
+      trace::Metrics::instance().counter("transport.recv_frames");
+  trace::Counter& recv_bytes =
+      trace::Metrics::instance().counter("transport.recv_bytes");
+  trace::Counter& peers_lost =
+      trace::Metrics::instance().counter("transport.peers_lost");
+};
+
+TransportMeters& meters() {
+  static TransportMeters m;
+  return m;
+}
+
+/// Write exactly `data` to `fd` (MSG_NOSIGNAL: a dead peer must surface as
+/// EPIPE, not kill the process). Throws TransportError on failure.
+void full_write(int fd, std::span<const std::byte> data, const char* what) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      data = data.subspan(static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw TransportError(std::string(what) + ": write failed (" +
+                         std::strerror(errno) + ")");
+  }
+}
+
+/// Read exactly data.size() bytes. Returns false on clean EOF at a frame
+/// boundary (offset 0); throws on mid-frame EOF or errors.
+bool full_read(int fd, std::span<std::byte> data, const char* what) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::recv(fd, data.data() + off, data.size() - off, 0);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0 && off == 0) return false;  // EOF between frames
+    if (n == 0) {
+      throw TransportError(std::string(what) + ": EOF mid-frame");
+    }
+    throw TransportError(std::string(what) + ": read failed (" +
+                         std::strerror(errno) + ")");
+  }
+  return true;
+}
+
+void close_quiet(int& fd) {
+  if (fd >= 0) ::close(fd);
+  fd = -1;
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(const Config& config,
+                                 std::vector<Mailbox>& mailboxes,
+                                 JobControl& control)
+    : config_(config), mailboxes_(&mailboxes), control_(&control) {
+  if (config_.world < 1 || config_.rank < 0 || config_.rank >= config_.world) {
+    throw TransportError("socket transport: bad rank/world (" +
+                         std::to_string(config_.rank) + "/" +
+                         std::to_string(config_.world) + ")");
+  }
+  peers_.resize(static_cast<std::size_t>(config_.world));
+  for (auto& p : peers_) p = std::make_unique<Peer>();
+  connect_mesh();
+  for (int r = 0; r < config_.world; ++r) {
+    if (r == config_.rank) continue;
+    Peer& peer = *peers_[static_cast<std::size_t>(r)];
+    peer.last_heard_ns.store(now_ns(), std::memory_order_relaxed);
+    peer.reader = std::thread([this, r] { reader_loop(r); });
+  }
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+SocketTransport::~SocketTransport() {
+  // Clean shutdown: tell every live peer we are done (EOF after Goodbye is
+  // not a failure), then unblock the readers and join everything.
+  stopping_.store(true, std::memory_order_release);
+  if (!local_failure_.load(std::memory_order_acquire)) {
+    const FrameHeader goodbye =
+        encode_control(FrameType::Goodbye, config_.rank);
+    for (int r = 0; r < config_.world; ++r) {
+      if (r == config_.rank) continue;
+      Peer& peer = *peers_[static_cast<std::size_t>(r)];
+      if (peer.fd < 0 || peer.lost.load(std::memory_order_relaxed)) continue;
+      try {
+        write_frame(r, goodbye, {});
+      } catch (const TransportError&) {
+        // Peer already gone; nothing to say goodbye to.
+      }
+    }
+  }
+  for (auto& p : peers_) {
+    if (p->fd >= 0) ::shutdown(p->fd, SHUT_RDWR);
+  }
+  for (auto& p : peers_) {
+    if (p->reader.joinable()) p->reader.join();
+  }
+  if (monitor_.joinable()) monitor_.join();
+  for (auto& p : peers_) close_quiet(p->fd);
+  close_quiet(listen_fd_);
+  if (config_.tcp_base == 0 && !config_.dir.empty()) {
+    ::unlink(endpoint_of(config_.rank).c_str());
+  }
+}
+
+std::string SocketTransport::endpoint_of(int rank) const {
+  return config_.dir + "/rank" + std::to_string(rank) + ".sock";
+}
+
+void SocketTransport::connect_mesh() {
+  const bool tcp = config_.tcp_base > 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + config_.connect_timeout;
+
+  // 1. Bind + listen on this rank's endpoint before any connect attempt.
+  listen_fd_ = ::socket(tcp ? AF_INET : AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw TransportError("socket transport: socket() failed (" +
+                         std::string(std::strerror(errno)) + ")");
+  }
+  if (tcp) {
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port =
+        htons(static_cast<std::uint16_t>(config_.tcp_base + config_.rank));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      throw TransportError("socket transport: bind(tcp " +
+                           std::to_string(config_.tcp_base + config_.rank) +
+                           ") failed (" + std::strerror(errno) + ")");
+    }
+  } else {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    const std::string path = endpoint_of(config_.rank);
+    if (path.size() >= sizeof addr.sun_path) {
+      throw TransportError("socket transport: endpoint path too long: " + path);
+    }
+    ::unlink(path.c_str());  // stale endpoint from a previous attempt
+    std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      throw TransportError("socket transport: bind(" + path + ") failed (" +
+                           std::strerror(errno) + ")");
+    }
+  }
+  if (::listen(listen_fd_, config_.world) < 0) {
+    throw TransportError("socket transport: listen() failed (" +
+                         std::string(std::strerror(errno)) + ")");
+  }
+
+  // 2. Connect to every lower rank, retrying until its listener appears.
+  for (int r = 0; r < config_.rank; ++r) {
+    int fd = -1;
+    for (;;) {
+      fd = ::socket(tcp ? AF_INET : AF_UNIX, SOCK_STREAM, 0);
+      if (fd < 0) {
+        throw TransportError("socket transport: socket() failed (" +
+                             std::string(std::strerror(errno)) + ")");
+      }
+      int rc;
+      if (tcp) {
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(static_cast<std::uint16_t>(config_.tcp_base + r));
+        rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+      } else {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        const std::string path = endpoint_of(r);
+        std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+        rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+      }
+      if (rc == 0) break;
+      ::close(fd);
+      fd = -1;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        throw TransportError("socket transport: rank " +
+                             std::to_string(config_.rank) +
+                             " could not reach rank " + std::to_string(r) +
+                             " within the connect timeout");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    peers_[static_cast<std::size_t>(r)]->fd = fd;
+    const FrameHeader hello =
+        encode_control(FrameType::Hello, config_.rank, config_.world);
+    full_write(fd,
+               std::span<const std::byte>(
+                   reinterpret_cast<const std::byte*>(&hello), sizeof hello),
+               "hello");
+  }
+
+  // 3. Accept one connection from every higher rank; the Hello frame says
+  // which peer arrived (accept order is scheduling-dependent).
+  for (int expected = config_.rank + 1; expected < config_.world; ++expected) {
+    // Bounded accept: poll-free blocking accept is fine here because every
+    // higher rank connects as part of its own bring-up; the receive timeout
+    // bounds a peer that died before connecting.
+    timeval tv{};
+    const auto remaining = std::chrono::duration_cast<std::chrono::microseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      throw TransportError(
+          "socket transport: timed out waiting for higher ranks to connect");
+    }
+    tv.tv_sec = remaining.count() / 1'000'000;
+    tv.tv_usec = remaining.count() % 1'000'000;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      throw TransportError("socket transport: accept failed (" +
+                           std::string(std::strerror(errno)) + ")");
+    }
+    FrameHeader hello;
+    if (!full_read(fd,
+                   std::span<std::byte>(reinterpret_cast<std::byte*>(&hello),
+                                        sizeof hello),
+                   "hello")) {
+      ::close(fd);
+      throw TransportError("socket transport: peer closed before Hello");
+    }
+    verify_frame(hello, {});
+    if (hello.type != static_cast<std::uint8_t>(FrameType::Hello) ||
+        hello.source < 0 || hello.source >= config_.world ||
+        hello.source == config_.rank ||
+        hello.tag != config_.world) {
+      ::close(fd);
+      throw TransportError(
+          "socket transport: bad Hello (rank " + std::to_string(hello.source) +
+          ", world " + std::to_string(hello.tag) + " != " +
+          std::to_string(config_.world) + ")");
+    }
+    Peer& peer = *peers_[static_cast<std::size_t>(hello.source)];
+    if (peer.fd >= 0) {
+      ::close(fd);
+      throw TransportError("socket transport: duplicate connection from rank " +
+                           std::to_string(hello.source));
+    }
+    peer.fd = fd;
+  }
+}
+
+void SocketTransport::write_frame(int peer_rank, const FrameHeader& header,
+                                  std::span<const std::byte> payload) {
+  Peer& peer = *peers_[static_cast<std::size_t>(peer_rank)];
+  std::lock_guard lock(peer.write_mutex);
+  full_write(peer.fd,
+             std::span<const std::byte>(
+                 reinterpret_cast<const std::byte*>(&header), sizeof header),
+             "frame header");
+  if (!payload.empty()) full_write(peer.fd, payload, "frame payload");
+}
+
+void SocketTransport::send(int dest, Message msg) {
+  if (dest == config_.rank) {
+    // Self-delivery (P=1 collectives): no wire, straight to the inbox.
+    (*mailboxes_)[static_cast<std::size_t>(dest)].deliver(std::move(msg));
+    return;
+  }
+  Peer& peer = *peers_[static_cast<std::size_t>(dest)];
+  if (peer.lost.load(std::memory_order_acquire)) {
+    throw TransportError("send: rank " + std::to_string(dest) +
+                         " is lost (peer process died)");
+  }
+  const FrameHeader header = encode_frame(msg);
+  try {
+    write_frame(dest, header, msg.payload.bytes());
+  } catch (const TransportError& e) {
+    // A send failing with EPIPE is the fastest possible failure detection.
+    mark_lost(dest, e.what());
+    throw;
+  }
+  TransportMeters& m = meters();
+  m.sent_frames.add();
+  m.sent_bytes.add(sizeof header + msg.payload.size());
+}
+
+void SocketTransport::reader_loop(int peer_rank) {
+  Peer& peer = *peers_[static_cast<std::size_t>(peer_rank)];
+  std::vector<std::byte> payload;
+  TransportMeters& m = meters();
+  try {
+    for (;;) {
+      FrameHeader header;
+      if (!full_read(peer.fd,
+                     std::span<std::byte>(reinterpret_cast<std::byte*>(&header),
+                                          sizeof header),
+                     "frame")) {
+        // EOF: clean after a Goodbye or during our own shutdown, otherwise
+        // the peer process died mid-job.
+        if (!peer.finished.load(std::memory_order_acquire) &&
+            !stopping_.load(std::memory_order_acquire)) {
+          mark_lost(peer_rank, "connection closed without Goodbye");
+        }
+        return;
+      }
+      payload.resize(header.payload_bytes);
+      if (!payload.empty() &&
+          !full_read(peer.fd, std::span<std::byte>(payload), "frame payload")) {
+        throw TransportError("frame: EOF inside payload");
+      }
+      verify_frame(header, payload);
+      peer.last_heard_ns.store(now_ns(), std::memory_order_relaxed);
+      switch (static_cast<FrameType>(header.type)) {
+        case FrameType::Data: {
+          m.recv_frames.add();
+          m.recv_bytes.add(sizeof header + payload.size());
+          (*mailboxes_)[static_cast<std::size_t>(config_.rank)].deliver(
+              decode_message(header, payload));
+          break;
+        }
+        case FrameType::Heartbeat:
+          break;  // last_heard is the whole point
+        case FrameType::Goodbye:
+          peer.finished.store(true, std::memory_order_release);
+          break;
+        case FrameType::Hello:
+          throw TransportError("frame: unexpected Hello after bring-up");
+      }
+    }
+  } catch (const std::exception& e) {
+    if (!stopping_.load(std::memory_order_acquire)) {
+      mark_lost(peer_rank, e.what());
+    }
+  }
+}
+
+void SocketTransport::monitor_loop() {
+  const FrameHeader beat = encode_control(FrameType::Heartbeat, config_.rank);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(config_.heartbeat);
+    if (stopping_.load(std::memory_order_acquire)) return;
+    const std::uint64_t now = now_ns();
+    for (int r = 0; r < config_.world; ++r) {
+      if (r == config_.rank) continue;
+      Peer& peer = *peers_[static_cast<std::size_t>(r)];
+      if (peer.lost.load(std::memory_order_relaxed) ||
+          peer.finished.load(std::memory_order_acquire)) {
+        continue;
+      }
+      try {
+        write_frame(r, beat, {});
+      } catch (const TransportError& e) {
+        mark_lost(r, e.what());
+        continue;
+      }
+      if (config_.peer_timeout.count() > 0) {
+        const std::uint64_t heard =
+            peer.last_heard_ns.load(std::memory_order_relaxed);
+        const auto silence = std::chrono::nanoseconds(now - heard);
+        if (silence > config_.peer_timeout) {
+          mark_lost(r, "no heartbeat for " +
+                           std::to_string(
+                               std::chrono::duration_cast<
+                                   std::chrono::milliseconds>(silence)
+                                   .count()) +
+                           " ms");
+        }
+      }
+    }
+  }
+}
+
+void SocketTransport::mark_lost(int peer_rank, const std::string& why) {
+  Peer& peer = *peers_[static_cast<std::size_t>(peer_rank)];
+  if (peer.lost.exchange(true, std::memory_order_acq_rel)) return;
+  meters().peers_lost.add();
+  trace::emit_instant("transport.peer_lost", peer_rank);
+  const std::string reason = "peer lost: rank " + std::to_string(peer_rank) +
+                             " (" + why + ")\n" + peer_report();
+  {
+    std::lock_guard lock(failure_mutex_);
+    if (failure_ == nullptr) {
+      failure_ = std::make_exception_ptr(PeerLost({peer_rank}, reason));
+    }
+  }
+  // Cooperative abort wakes the local rank out of any blocking receive; it
+  // observes JobAborted, which the distributed runner upgrades to PeerLost.
+  control_->abort(reason);
+}
+
+std::vector<int> SocketTransport::lost_peers() const {
+  std::vector<int> lost;
+  for (int r = 0; r < config_.world; ++r) {
+    if (r == config_.rank) continue;
+    if (peers_[static_cast<std::size_t>(r)]->lost.load(
+            std::memory_order_acquire)) {
+      lost.push_back(r);
+    }
+  }
+  return lost;
+}
+
+std::string SocketTransport::peer_report() const {
+  const std::uint64_t now = now_ns();
+  std::string report = "peer liveness (rank " + std::to_string(config_.rank) +
+                       " of " + std::to_string(config_.world) + ", socket):";
+  for (int r = 0; r < config_.world; ++r) {
+    if (r == config_.rank) continue;
+    const Peer& peer = *peers_[static_cast<std::size_t>(r)];
+    report += "\n  rank " + std::to_string(r) + ": ";
+    if (peer.lost.load(std::memory_order_acquire)) {
+      report += "LOST";
+    } else if (peer.finished.load(std::memory_order_acquire)) {
+      report += "finished";
+    } else {
+      const std::uint64_t heard =
+          peer.last_heard_ns.load(std::memory_order_relaxed);
+      report += "alive, heard " +
+                std::to_string((now - heard) / 1'000'000) + " ms ago";
+    }
+  }
+  return report;
+}
+
+std::exception_ptr SocketTransport::failure() const {
+  std::lock_guard lock(failure_mutex_);
+  return failure_;
+}
+
+}  // namespace vpar::simrt

@@ -169,6 +169,7 @@ Ring& local_ring() {
 }
 
 std::atomic<std::uint64_t> g_flow_id{0};
+std::atomic<std::uint64_t> g_flow_base{0};
 
 void push_event(const char* name, EventKind kind, std::uint64_t ts,
                 std::uint64_t dur, std::uint64_t id, std::int64_t arg0,
@@ -213,8 +214,13 @@ void emit_flow_end(const char* name, std::uint64_t id) {
   push_event(name, EventKind::FlowEnd, now_ns(), 0, id, 0, 0);
 }
 
+void seed_flow_ids(std::uint64_t base) {
+  g_flow_base.store(base, std::memory_order_relaxed);
+}
+
 std::uint64_t next_flow_id() {
-  return g_flow_id.fetch_add(1, std::memory_order_relaxed) + 1;
+  return g_flow_base.load(std::memory_order_relaxed) +
+         g_flow_id.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 void set_thread_rank(int rank) { t_rank = rank; }

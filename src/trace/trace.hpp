@@ -84,6 +84,13 @@ void emit_flow_end(const char* name, std::uint64_t id);
 /// Process-unique flow id for pairing a send with its receive-side match.
 [[nodiscard]] std::uint64_t next_flow_id();
 
+/// Offset every subsequently-drawn flow id by `base`. The distributed
+/// bootstrap seeds each rank process with (rank + 1) << 40 so flow ids stay
+/// globally unique across a multi-process job: the id travels in the frame
+/// header, the receiving process emits the paired FlowEnd, and a merged
+/// Perfetto trace still draws every send→recv arrow (docs/transport.md).
+void seed_flow_ids(std::uint64_t base);
+
 /// RAII span: captures the start time on construction, emits one Span event
 /// on destruction. When tracing is Off at construction the destructor does
 /// nothing — a disabled span never reads the clock.
