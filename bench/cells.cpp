@@ -7,6 +7,7 @@
 #include "gtc/workload.hpp"
 #include "lbmhd/workload.hpp"
 #include "paratec/workload.hpp"
+#include "qcd/workload.hpp"
 
 namespace vpar::bench {
 
@@ -175,6 +176,19 @@ Cell gtc_cell(const arch::PlatformSpec& platform, int ppc, int procs, bool hybri
   cell.prediction = arch::MachineModel(platform).predict(app);
   cell.app = app;
   cell.paper_gflops = paper_value("gtc", platform.name, ppc, procs);
+  return cell;
+}
+
+Cell qcd_cell(const arch::PlatformSpec& platform, int procs) {
+  qcd::ScalingConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 32;
+  cfg.nt = 64;
+  cfg.procs = procs;
+  cfg.steps = 100;
+  const auto app = qcd::make_profile(cfg);
+  Cell cell;
+  cell.prediction = arch::MachineModel(platform).predict(app);
+  cell.app = app;
   return cell;
 }
 

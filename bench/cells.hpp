@@ -40,6 +40,11 @@ struct Cell {
 [[nodiscard]] Cell gtc_cell(const arch::PlatformSpec& platform, int ppc, int procs,
                             bool hybrid);
 
+/// QCD (grown fifth application, not in the paper's tables): full lattice
+/// 32^3 x 64, staggered even/odd Dslash sweeps, strong scaling. The paper
+/// reports no measured Gflops/P for it, so paper_gflops stays empty.
+[[nodiscard]] Cell qcd_cell(const arch::PlatformSpec& platform, int procs);
+
 /// Convenience: the paper's largest comparable concurrency for the Table 7
 /// summary row of each application on each platform.
 struct SummaryEntry {

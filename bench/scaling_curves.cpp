@@ -60,6 +60,22 @@ int main() {
     t.print(std::cout);
   }
 
+  std::cout << "\nQCD, 32^3 x 64 lattice (strong scaling, fifth application "
+               "— no paper column):\n";
+  {
+    core::Table t({"P", "Power3", "Power4", "Altix", "ES", "X1"});
+    for (int p : {16, 64, 256, 1024}) {
+      std::vector<std::string> row = {std::to_string(p)};
+      for (const char* name : platforms) {
+        row.push_back(core::fmt_gflops(
+            qcd_cell(arch::platform_by_name(name), p)
+                .prediction.gflops_per_proc));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+  }
+
   std::cout << "\nGTC, 100 particles/cell (MPI to the 64-domain cap, then "
                "hybrid):\n";
   {

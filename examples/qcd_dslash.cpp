@@ -1,0 +1,53 @@
+// QCD Dslash demo: the grown fifth application on the general partitioning
+// layer. Runs a small 4D staggered-fermion power iteration on 4 simulated
+// ranks — an all-periodic BlockPartition<4> of the even/odd half lattice
+// with planned halo exchanges — then prints the globally-allreduced
+// observables and a decomposition-independent checksum of the gathered
+// field. The same binary runs multi-process via the launcher:
+//
+//   ./scripts/vpar_launch -n 4 -t socket -- ./build/examples/qcd_dslash
+//
+// and the checksum must come out identical on every transport.
+
+#include <cstdio>
+
+#include "qcd/simulation.hpp"
+#include "simrt/runtime.hpp"
+
+int main() {
+  using namespace vpar;
+
+  simrt::run(4, [](simrt::Communicator& comm) {
+    qcd::Options opt;
+    opt.nx = 8;
+    opt.ny = 8;
+    opt.nz = 4;
+    opt.nt = 8;
+
+    qcd::Simulation sim(comm, opt);
+    sim.initialize();
+
+    if (comm.rank() == 0) {
+      const auto dims = qcd::Simulation::resolve_dims(opt, comm.size());
+      std::printf("QCD %zux%zux%zux%zu lattice, rank grid %dx%dx%dx%d\n",
+                  opt.nx, opt.ny, opt.nz, opt.nt, dims[0], dims[1], dims[2],
+                  dims[3]);
+    }
+
+    sim.run(20);
+    const auto diag = sim.diagnostics();
+    const auto psi = sim.gather_psi();
+
+    if (comm.rank() == 0) {
+      double checksum = 0.0;
+      for (std::size_t i = 0; i < psi.size(); ++i) {
+        checksum += (i % 2 == 0 ? 1.0 : -1.0) * psi[i];
+      }
+      std::printf("after 20 normalized Dslash sweeps:\n");
+      std::printf("  |psi|^2      = %.12f (normalized)\n", diag.norm2);
+      std::printf("  link energy  = %.12f\n", diag.link_energy);
+      std::printf("  checksum     = %.12e (transport-independent)\n", checksum);
+    }
+  });
+  return 0;
+}

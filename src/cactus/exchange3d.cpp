@@ -3,150 +3,65 @@
 #include <stdexcept>
 #include <vector>
 
-#include "perf/recorder.hpp"
-#include "simrt/request.hpp"
+#include "part/halo.hpp"
 #include "trace/trace.hpp"
 
 namespace vpar::cactus {
 
 namespace {
 constexpr int G = GridFunctions::kGhost;
-
-/// Axis-aligned box in interior coordinates (may extend into ghosts).
-struct Box {
-  std::ptrdiff_t lo[3];
-  std::ptrdiff_t hi[3];  // exclusive
-
-  [[nodiscard]] std::size_t volume() const {
-    std::size_t v = 1;
-    for (int a = 0; a < 3; ++a) v *= static_cast<std::size_t>(hi[a] - lo[a]);
-    return v;
-  }
-};
-
-std::vector<double> pack(const GridFunctions& gf, const Box& b) {
-  std::vector<double> out;
-  out.reserve(static_cast<std::size_t>(gf.nfields()) * b.volume());
-  for (int f = 0; f < gf.nfields(); ++f) {
-    const double* field = gf.field(f);
-    for (std::ptrdiff_t k = b.lo[2]; k < b.hi[2]; ++k) {
-      for (std::ptrdiff_t j = b.lo[1]; j < b.hi[1]; ++j) {
-        const double* row = field + gf.at(k, j, b.lo[0]);
-        out.insert(out.end(), row, row + (b.hi[0] - b.lo[0]));
-      }
-    }
-  }
-  return out;
-}
-
-void unpack(GridFunctions& gf, const Box& b, const std::vector<double>& in) {
-  std::size_t idx = 0;
-  for (int f = 0; f < gf.nfields(); ++f) {
-    double* field = gf.field(f);
-    for (std::ptrdiff_t k = b.lo[2]; k < b.hi[2]; ++k) {
-      for (std::ptrdiff_t j = b.lo[1]; j < b.hi[1]; ++j) {
-        double* row = field + gf.at(k, j, b.lo[0]);
-        const auto count = static_cast<std::size_t>(b.hi[0] - b.lo[0]);
-        std::copy_n(in.data() + idx, count, row);
-        idx += count;
-      }
-    }
-  }
-}
-
+constexpr int kHaloTagBase = 200;  ///< the historical 200+axis tag range
 }  // namespace
 
 Decomp3D::Decomp3D(std::size_t nx, std::size_t ny, std::size_t nz, int px, int py,
                    int pz, int rank, bool periodic_in)
-    : n{nx, ny, nz}, p{px, py, pz}, periodic(periodic_in) {
-  if (px <= 0 || py <= 0 || pz <= 0) {
-    throw std::runtime_error("Decomp3D: bad processor grid");
-  }
+    : n{nx, ny, nz},
+      p{px, py, pz},
+      periodic(periodic_in),
+      partition(part::Extent<3>{{nx, ny, nz}}, {px, py, pz},
+                {periodic_in, periodic_in, periodic_in}) {
+  partition.grid().check_rank(rank);
+  const auto coords = partition.coords_of(rank);
   for (int a = 0; a < 3; ++a) {
     if (n[a] % static_cast<std::size_t>(p[a]) != 0) {
       throw std::runtime_error("Decomp3D: grid not divisible by processor grid");
     }
-    nl[a] = n[a] / static_cast<std::size_t>(p[a]);
+    c[a] = coords[static_cast<std::size_t>(a)];
+    nl[a] = partition.axis_extent(static_cast<std::size_t>(a), c[a]);
     if (nl[a] < 2 * G) {
       throw std::runtime_error("Decomp3D: local block smaller than ghost width");
     }
   }
-  c[0] = rank % px;
-  c[1] = (rank / px) % py;
-  c[2] = rank / (px * py);
 }
 
 int Decomp3D::rank_of(int ci, int cj, int ck) const {
-  const int m[3] = {((ci % p[0]) + p[0]) % p[0], ((cj % p[1]) + p[1]) % p[1],
-                    ((ck % p[2]) + p[2]) % p[2]};
-  return (m[2] * p[1] + m[1]) * p[0] + m[0];
-}
-
-int Decomp3D::neighbor(int axis, int dir) const {
-  if (!periodic) {
-    if (dir < 0 && at_min(axis)) return -1;
-    if (dir > 0 && at_max(axis)) return -1;
-  }
-  int cc[3] = {c[0], c[1], c[2]};
-  cc[axis] += dir;
-  return rank_of(cc[0], cc[1], cc[2]);
+  const std::array<int, 3> m = {((ci % p[0]) + p[0]) % p[0],
+                                ((cj % p[1]) + p[1]) % p[1],
+                                ((ck % p[2]) + p[2]) % p[2]};
+  return partition.rank_of(m);
 }
 
 void exchange_ghosts(simrt::Communicator& comm, const Decomp3D& d,
                      GridFunctions& gf) {
   trace::TraceSpan span("cactus.exchange3d", d.nl[0],
                         static_cast<std::int64_t>(d.nl[1]) * d.nl[2]);
-  // Sweep axes in order; earlier axes' ghosts are included in later sweeps'
-  // face boxes so edge/corner data propagates.
-  for (int axis = 0; axis < 3; ++axis) {
-    Box span{};
-    for (int a = 0; a < 3; ++a) {
-      if (a < axis) {
-        span.lo[a] = -G;
-        span.hi[a] = static_cast<std::ptrdiff_t>(d.nl[a]) + G;
-      } else {
-        span.lo[a] = 0;
-        span.hi[a] = static_cast<std::ptrdiff_t>(d.nl[a]);
-      }
-    }
-    const auto nla = static_cast<std::ptrdiff_t>(d.nl[axis]);
+  // Axis-ordered sweeps with earlier axes' ghosts included in later sweeps'
+  // face boxes (plan_halo's phase structure): edges and corners propagate
+  // without diagonal messages. Receives are posted before packing, so
+  // arriving faces land in place while this rank packs its own — each axis
+  // sweep is one overlap window.
+  const std::size_t g = static_cast<std::size_t>(G);
+  const part::TileLayout<3> layout =
+      part::TileLayout<3>::make({{d.nl[0], d.nl[1], d.nl[2]}}, {{g, g, g}});
+  const auto schedule =
+      part::plan_halo(d.partition, d.rank(), {part::Extent<3>{{g, g, g}},
+                                              kHaloTagBase});
 
-    Box send_minus = span, send_plus = span, ghost_minus = span, ghost_plus = span;
-    send_minus.lo[axis] = 0;
-    send_minus.hi[axis] = G;
-    send_plus.lo[axis] = nla - G;
-    send_plus.hi[axis] = nla;
-    ghost_minus.lo[axis] = -G;
-    ghost_minus.hi[axis] = 0;
-    ghost_plus.lo[axis] = nla;
-    ghost_plus.hi[axis] = nla + G;
-
-    const int minus = d.neighbor(axis, -1);
-    const int plus = d.neighbor(axis, +1);
-    const int tag = 200 + axis;
-
-    // Ghost-face sizes are known from the decomposition, so both receives
-    // are posted before any packing: arriving faces land in place while this
-    // rank packs and posts its own boundary faces (partners may be
-    // asymmetric at non-periodic boundaries). Each axis sweep is one overlap
-    // window; unpacking happens after the waitall that closes it.
-    perf::OverlapScope window;
-    std::vector<double> recv_plus, recv_minus;
-    std::vector<simrt::Request> reqs;
-    if (plus >= 0) {
-      recv_plus.resize(static_cast<std::size_t>(gf.nfields()) * ghost_plus.volume());
-      reqs.push_back(comm.irecv<double>(plus, recv_plus, tag));
-    }
-    if (minus >= 0) {
-      recv_minus.resize(static_cast<std::size_t>(gf.nfields()) * ghost_minus.volume());
-      reqs.push_back(comm.irecv<double>(minus, recv_minus, tag + 10));
-    }
-    if (minus >= 0) comm.isend<double>(minus, pack(gf, send_minus), tag).wait();
-    if (plus >= 0) comm.isend<double>(plus, pack(gf, send_plus), tag + 10).wait();
-    simrt::waitall(reqs);
-    if (plus >= 0) unpack(gf, ghost_plus, recv_plus);
-    if (minus >= 0) unpack(gf, ghost_minus, recv_minus);
-  }
+  std::vector<double*> fields;
+  fields.reserve(static_cast<std::size_t>(gf.nfields()));
+  for (int f = 0; f < gf.nfields(); ++f) fields.push_back(gf.field(f));
+  part::exchange_halo(comm, schedule, layout,
+                      std::span<double* const>(fields.data(), fields.size()));
 }
 
 }  // namespace vpar::cactus

@@ -16,4 +16,15 @@ const std::vector<AppInfo>& application_registry() {
   return apps;
 }
 
+const std::vector<AppInfo>& extended_application_registry() {
+  static const std::vector<AppInfo> apps = [] {
+    std::vector<AppInfo> all = application_registry();
+    all.push_back({"QCD", 30000, "Lattice Gauge Theory",
+                   "Staggered-fermion Dslash, even/odd preconditioning",
+                   "Grid/4D"});
+    return all;
+  }();
+  return apps;
+}
+
 }  // namespace vpar::core

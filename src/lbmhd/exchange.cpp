@@ -1,34 +1,47 @@
 #include "lbmhd/exchange.hpp"
 
-#include <cstring>
+#include <array>
 #include <stdexcept>
 #include <vector>
 
+#include "part/halo.hpp"
 #include "perf/recorder.hpp"
-#include "simrt/request.hpp"
 
 namespace vpar::lbmhd {
 
 namespace {
 constexpr int G = FieldSet::kGhost;
-constexpr int kTagX = 101;
-constexpr int kTagX2 = 102;
-constexpr int kTagY = 103;
-constexpr int kTagY2 = 104;
+constexpr int kHaloTagBase = 101;  ///< the historical kTagX..kTagY2 range
+
+// Validated before the partition member is built, preserving the historical
+// contract that any degenerate Decomp2D throws std::runtime_error.
+std::array<int, 2> checked_dims(int px, int py) {
+  if (px < 1 || py < 1) {
+    throw std::runtime_error("Decomp2D: processor grid must be >= 1 per axis");
+  }
+  return {px, py};
+}
 }  // namespace
 
 Decomp2D::Decomp2D(std::size_t nx_in, std::size_t ny_in, int px_in, int py_in,
                    int rank)
-    : nx(nx_in), ny(ny_in), px(px_in), py(py_in) {
-  if (px <= 0 || py <= 0) throw std::runtime_error("Decomp2D: bad processor grid");
+    : nx(nx_in),
+      ny(ny_in),
+      px(px_in),
+      py(py_in),
+      partition(part::Extent<2>{{nx_in, ny_in}}, checked_dims(px_in, py_in),
+                {true, true}) {
   if (nx % static_cast<std::size_t>(px) != 0 ||
       ny % static_cast<std::size_t>(py) != 0) {
     throw std::runtime_error("Decomp2D: grid not divisible by processor grid");
   }
-  pi = rank % px;
-  pj = rank / px;
-  nxl = nx / static_cast<std::size_t>(px);
-  nyl = ny / static_cast<std::size_t>(py);
+  partition.grid().check_rank(rank);
+  const auto c = partition.coords_of(rank);
+  pi = c[0];
+  pj = c[1];
+  const part::Extent<2> local = partition.local_extent(rank);
+  nxl = local[0];
+  nyl = local[1];
   if (nxl < 2 * G || nyl < 2 * G) {
     throw std::runtime_error("Decomp2D: local block smaller than ghost width");
   }
@@ -38,92 +51,31 @@ void exchange_mpi(simrt::Communicator& comm, const Decomp2D& d, FieldSet& fields
   const std::size_t nxl = fields.nxl(), nyl = fields.nyl();
   const std::size_t stride = fields.stride();
 
-  // --- X phase: pack boundary columns of all planes into one buffer -------
-  // Receives are posted before any packing so arriving boundary data lands
-  // directly in the ghost buffers while this rank is still packing its own —
-  // the overlap window the machine models credit on platforms with
-  // asynchronous progress (PlatformSpec::overlap_eff).
-  const std::size_t xcount = static_cast<std::size_t>(FieldSet::kPlanes) * nyl * G;
-  std::vector<double> send_east(xcount), send_west(xcount);
-  std::vector<double> recv_west(xcount), recv_east(xcount);
+  // The x phase exchanges interior-height boundary columns, the y phase
+  // full-width rows that carry the fresh corners — exactly the axis-ordered
+  // sweep plan_halo produces for a 2D torus. Receives are posted before any
+  // packing (exchange_halo's phase structure), so arriving boundary data
+  // lands while this rank is still packing its own — the overlap window the
+  // machine models credit on platforms with asynchronous progress.
+  part::TileLayout<2> layout = part::TileLayout<2>::make(
+      {{nxl, nyl}}, {{static_cast<std::size_t>(G), static_cast<std::size_t>(G)}});
+  const part::HaloSpec<2> spec{
+      {{static_cast<std::size_t>(G), static_cast<std::size_t>(G)}},
+      kHaloTagBase};
+  const auto schedule = part::plan_halo(d.partition, d.rank(), spec);
 
-  {
-    perf::OverlapScope window;
-    simrt::Request reqs[2] = {comm.irecv<double>(d.west(), recv_west, kTagX),
-                              comm.irecv<double>(d.east(), recv_east, kTagX2)};
-
-    std::size_t k = 0;
-    for (int p = 0; p < FieldSet::kPlanes; ++p) {
-      const double* plane = fields.plane(p);
-      for (std::size_t j = 0; j < nyl; ++j) {
-        const std::size_t row = fields.at(static_cast<std::ptrdiff_t>(j), 0);
-        for (int g = 0; g < G; ++g) {
-          send_east[k] = plane[row + nxl - G + static_cast<std::size_t>(g)];
-          send_west[k] = plane[row + static_cast<std::size_t>(g)];
-          ++k;
-        }
-      }
-    }
-    comm.isend<double>(d.east(), std::move(send_east), kTagX).wait();
-    comm.isend<double>(d.west(), std::move(send_west), kTagX2).wait();
-    simrt::waitall(reqs);
-  }
-
-  std::size_t k = 0;
-  for (int p = 0; p < FieldSet::kPlanes; ++p) {
-    double* plane = fields.plane(p);
-    for (std::size_t j = 0; j < nyl; ++j) {
-      const std::size_t row = fields.at(static_cast<std::ptrdiff_t>(j), -G);
-      for (int g = 0; g < G; ++g) {
-        plane[row + static_cast<std::size_t>(g)] = recv_west[k];          // west ghosts
-        plane[row + G + nxl + static_cast<std::size_t>(g)] = recv_east[k];  // east ghosts
-        ++k;
-      }
-    }
-  }
-
-  // --- Y phase: full-width rows (including x ghosts) carry the corners ----
-  const std::size_t ycount = static_cast<std::size_t>(FieldSet::kPlanes) * G * stride;
-  std::vector<double> send_north(ycount), send_south(ycount);
-  std::vector<double> recv_south(ycount), recv_north(ycount);
-
-  {
-    perf::OverlapScope window;
-    simrt::Request reqs[2] = {comm.irecv<double>(d.south(), recv_south, kTagY),
-                              comm.irecv<double>(d.north(), recv_north, kTagY2)};
-
-    k = 0;
-    for (int p = 0; p < FieldSet::kPlanes; ++p) {
-      const double* plane = fields.plane(p);
-      for (int g = 0; g < G; ++g) {
-        const double* top =
-            plane + fields.at(static_cast<std::ptrdiff_t>(nyl) - G + g, -G);
-        const double* bottom = plane + fields.at(g, -G);
-        std::memcpy(&send_north[k], top, stride * sizeof(double));
-        std::memcpy(&send_south[k], bottom, stride * sizeof(double));
-        k += stride;
-      }
-    }
-    comm.isend<double>(d.north(), std::move(send_north), kTagY).wait();
-    comm.isend<double>(d.south(), std::move(send_south), kTagY2).wait();
-    simrt::waitall(reqs);
-  }
-
-  k = 0;
-  for (int p = 0; p < FieldSet::kPlanes; ++p) {
-    double* plane = fields.plane(p);
-    for (int g = 0; g < G; ++g) {
-      double* below = plane + fields.at(-G + g, -G);
-      double* above = plane + fields.at(static_cast<std::ptrdiff_t>(nyl) + g, -G);
-      std::memcpy(below, &recv_south[k], stride * sizeof(double));
-      std::memcpy(above, &recv_north[k], stride * sizeof(double));
-      k += stride;
-    }
-  }
+  std::array<double*, FieldSet::kPlanes> planes{};
+  for (int p = 0; p < FieldSet::kPlanes; ++p) planes[static_cast<std::size_t>(p)] = fields.plane(p);
+  part::exchange_halo(comm, schedule, layout,
+                      std::span<double* const>(planes.data(), planes.size()));
 
   // Buffer packing/unpacking is user-level copy traffic the CAF port avoids
   // (the paper credits CAF with a 3x memory-traffic reduction on the halo
   // path: no user pack + no system-level MPI copy).
+  const std::size_t xcount =
+      static_cast<std::size_t>(FieldSet::kPlanes) * nyl * G;
+  const std::size_t ycount =
+      static_cast<std::size_t>(FieldSet::kPlanes) * G * stride;
   perf::LoopRecord rec;
   rec.vectorizable = true;
   rec.instances = 4.0;  // pack east/west + unpack west/east ghost strips

@@ -3,13 +3,17 @@
 #include <optional>
 
 #include "lbmhd/field_set.hpp"
+#include "part/partition.hpp"
 #include "simrt/coarray.hpp"
 #include "simrt/communicator.hpp"
 
 namespace vpar::lbmhd {
 
 /// Block distribution of the periodic global grid over a 2D processor grid
-/// (paper Section 3: "block distributed over a 2D processor grid").
+/// (paper Section 3: "block distributed over a 2D processor grid"). Built on
+/// part::BlockPartition<2>, whose axis-0-fastest linearization is exactly the
+/// rank = pj*px + pi convention this struct always used; the flat fields stay
+/// because the kernels and the CAF port index through them.
 struct Decomp2D {
   Decomp2D(std::size_t nx, std::size_t ny, int px, int py, int rank);
 
@@ -17,26 +21,34 @@ struct Decomp2D {
   int px, py;            ///< processor grid
   int pi, pj;            ///< this rank's coordinates (pi: x, pj: y)
   std::size_t nxl, nyl;  ///< local extents
+  part::BlockPartition<2> partition;  ///< the torus behind the fields above
 
+  [[nodiscard]] int rank() const { return partition.rank_of({pi, pj}); }
   [[nodiscard]] int rank_of(int ci, int cj) const {
     const int mi = ((ci % px) + px) % px;
     const int mj = ((cj % py) + py) % py;
-    return mj * px + mi;
+    return partition.rank_of({mi, mj});
   }
-  [[nodiscard]] int east() const { return rank_of(pi + 1, pj); }
-  [[nodiscard]] int west() const { return rank_of(pi - 1, pj); }
-  [[nodiscard]] int north() const { return rank_of(pi, pj + 1); }
-  [[nodiscard]] int south() const { return rank_of(pi, pj - 1); }
+  [[nodiscard]] int east() const { return partition.neighbor(rank(), 0, +1); }
+  [[nodiscard]] int west() const { return partition.neighbor(rank(), 0, -1); }
+  [[nodiscard]] int north() const { return partition.neighbor(rank(), 1, +1); }
+  [[nodiscard]] int south() const { return partition.neighbor(rank(), 1, -1); }
 
   /// Global coordinates of this rank's first interior cell.
-  [[nodiscard]] std::size_t x0() const { return static_cast<std::size_t>(pi) * nxl; }
-  [[nodiscard]] std::size_t y0() const { return static_cast<std::size_t>(pj) * nyl; }
+  [[nodiscard]] std::size_t x0() const {
+    return partition.axis_origin(0, pi);
+  }
+  [[nodiscard]] std::size_t y0() const {
+    return partition.axis_origin(1, pj);
+  }
 };
 
-/// Two-phase MPI ghost exchange: non-contiguous boundary columns are packed
-/// into temporary buffers (reducing message count, as the paper's MPI port
-/// does), exchanged east/west, then full-width rows — carrying the fresh
-/// corner data — are exchanged north/south.
+/// Two-phase MPI ghost exchange, lowered onto part::plan_halo /
+/// part::exchange_halo: boundary columns of all planes are packed into one
+/// buffer per face (reducing message count, as the paper's MPI port does),
+/// exchanged east/west, then full-width rows — carrying the fresh corner
+/// data — are exchanged north/south. Ghost contents after the call are
+/// bitwise identical to the historical hand-rolled exchange.
 void exchange_mpi(simrt::Communicator& comm, const Decomp2D& d, FieldSet& fields);
 
 /// One-sided CAF ghost exchange: each image puts its boundary strips

@@ -1,0 +1,22 @@
+#include "part/halo.hpp"
+
+#include "trace/metrics.hpp"
+
+namespace vpar::part::detail {
+
+void note_exchange() {
+  static trace::Counter& exchanges =
+      trace::Metrics::instance().counter("part.exchanges");
+  exchanges.add();
+}
+
+void note_message(std::size_t bytes) {
+  static trace::Counter& total =
+      trace::Metrics::instance().counter("part.halo_bytes");
+  static trace::Histogram& sizes =
+      trace::Metrics::instance().histogram("part.halo_message_bytes");
+  total.add(bytes);
+  sizes.record(bytes);
+}
+
+}  // namespace vpar::part::detail

@@ -1,0 +1,92 @@
+#include "part/part.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace vpar::part {
+
+namespace {
+
+/// Prime factors of n in descending order (e.g. 12 -> {3, 2, 2}).
+std::vector<int> prime_factors_descending(int n) {
+  std::vector<int> factors;
+  for (int p = 2; p * p <= n; ++p) {
+    while (n % p == 0) {
+      factors.push_back(p);
+      n /= p;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+  std::sort(factors.begin(), factors.end(), std::greater<>());
+  return factors;
+}
+
+}  // namespace
+
+void factor_rank_grid(int ranks, std::span<const std::size_t> extents,
+                      std::span<int> dims) {
+  if (ranks < 1) throw std::invalid_argument("factor_rank_grid: ranks < 1");
+  if (dims.empty()) throw std::invalid_argument("factor_rank_grid: no axes");
+  if (!extents.empty() && extents.size() != dims.size()) {
+    throw std::invalid_argument("factor_rank_grid: extents/dims size mismatch");
+  }
+
+  // Honour fixed (non-zero) entries; the free axes absorb the rest.
+  int fixed = 1;
+  for (std::size_t a = 0; a < dims.size(); ++a) {
+    if (dims[a] < 0) throw std::invalid_argument("factor_rank_grid: dims < 0");
+    if (dims[a] > 0) fixed *= dims[a];
+  }
+  if (fixed == 0 || ranks % fixed != 0) {
+    throw std::invalid_argument(
+        "factor_rank_grid: fixed dims do not divide rank count");
+  }
+  const int remaining = ranks / fixed;
+
+  std::vector<std::size_t> free_axes;
+  for (std::size_t a = 0; a < dims.size(); ++a) {
+    if (dims[a] == 0) {
+      dims[a] = 1;
+      free_axes.push_back(a);
+    }
+  }
+  if (free_axes.empty()) {
+    if (remaining != 1) {
+      throw std::invalid_argument(
+          "factor_rank_grid: all dims fixed but product != ranks");
+    }
+    return;
+  }
+
+  auto extent_of = [&](std::size_t a) -> double {
+    if (extents.empty() || extents[a] == 0) return 1.0;
+    return static_cast<double>(extents[a]);
+  };
+
+  // Greedy near-cubic assignment: give each prime factor (largest first) to
+  // the free axis whose current local extent extent/dims is largest,
+  // preferring axes the enlarged dim still divides evenly. Deterministic
+  // tie-break on the lowest axis index keeps grids reproducible.
+  for (int f : prime_factors_descending(remaining)) {
+    std::size_t best = free_axes[0];
+    bool best_divides = false;
+    double best_quotient = -1.0;
+    for (std::size_t a : free_axes) {
+      const double quotient = extent_of(a) / static_cast<double>(dims[a]);
+      const bool divides =
+          !extents.empty() && extents[a] != 0 &&
+          extents[a] % (static_cast<std::size_t>(dims[a]) *
+                        static_cast<std::size_t>(f)) == 0;
+      const bool better = (divides && !best_divides) ||
+                          (divides == best_divides && quotient > best_quotient);
+      if (better) {
+        best = a;
+        best_divides = divides;
+        best_quotient = quotient;
+      }
+    }
+    dims[best] *= f;
+  }
+}
+
+}  // namespace vpar::part

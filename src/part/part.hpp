@@ -1,0 +1,95 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+
+/// N-dimensional partitioning library (vpar_part).
+///
+/// Every application in this repository used to hand-roll its own domain
+/// decomposition (LBMHD's Decomp2D, Cactus's Decomp3D, GTC's 1D toroidal
+/// split). This layer extracts the shared machinery once, for any rank:
+/// extents and indices (this header), block and block-cyclic decompositions
+/// over an N-dim rank grid with near-cubic automatic factorization
+/// (partition.hpp), and halo-exchange schedules that lower onto simrt
+/// isend/irecv with overlap (halo.hpp). See docs/partitioning.md.
+
+namespace vpar::part {
+
+/// Signed N-dim index. Signed so the same type addresses interior cells and
+/// ghost cells (negative, or >= the interior extent) in local coordinates.
+template <std::size_t N>
+struct Index {
+  std::array<std::ptrdiff_t, N> v{};
+
+  [[nodiscard]] std::ptrdiff_t& operator[](std::size_t a) { return v[a]; }
+  [[nodiscard]] std::ptrdiff_t operator[](std::size_t a) const { return v[a]; }
+  [[nodiscard]] bool operator==(const Index&) const = default;
+};
+
+/// Unsigned N-dim extent (a box size, a grid shape).
+template <std::size_t N>
+struct Extent {
+  std::array<std::size_t, N> v{};
+
+  [[nodiscard]] std::size_t& operator[](std::size_t a) { return v[a]; }
+  [[nodiscard]] std::size_t operator[](std::size_t a) const { return v[a]; }
+  [[nodiscard]] bool operator==(const Extent&) const = default;
+
+  [[nodiscard]] std::size_t volume() const {
+    std::size_t p = 1;
+    for (std::size_t a = 0; a < N; ++a) p *= v[a];
+    return p;
+  }
+};
+
+/// Half-open axis-aligned box [lo, hi) in (possibly ghost-extended) local
+/// coordinates.
+template <std::size_t N>
+struct Box {
+  Index<N> lo{};
+  Index<N> hi{};  // exclusive
+
+  [[nodiscard]] bool operator==(const Box&) const = default;
+
+  [[nodiscard]] std::size_t volume() const {
+    std::size_t p = 1;
+    for (std::size_t a = 0; a < N; ++a) {
+      if (hi[a] <= lo[a]) return 0;
+      p *= static_cast<std::size_t>(hi[a] - lo[a]);
+    }
+    return p;
+  }
+
+  [[nodiscard]] bool empty() const { return volume() == 0; }
+
+  [[nodiscard]] bool contains(const Index<N>& i) const {
+    for (std::size_t a = 0; a < N; ++a) {
+      if (i[a] < lo[a] || i[a] >= hi[a]) return false;
+    }
+    return true;
+  }
+};
+
+/// Factor `ranks` into `dims.size()` per-axis counts whose product is
+/// `ranks`, keeping the local blocks of a domain with the given per-axis
+/// `extents` as close to cubic as possible: prime factors of `ranks` are
+/// assigned, largest first, to the axis whose current local extent is
+/// largest (preferring axes the factor divides evenly). dims entries that
+/// arrive non-zero are honoured as fixed (MPI_Dims_create semantics); zero
+/// entries are chosen. Throws when the fixed entries cannot absorb `ranks`.
+void factor_rank_grid(int ranks, std::span<const std::size_t> extents,
+                      std::span<int> dims);
+
+/// Typed convenience wrapper: all axes free.
+template <std::size_t N>
+[[nodiscard]] std::array<int, N> near_cubic_grid(int ranks,
+                                                 const Extent<N>& global) {
+  std::array<int, N> dims{};
+  factor_rank_grid(ranks, std::span<const std::size_t>(global.v),
+                   std::span<int>(dims));
+  return dims;
+}
+
+}  // namespace vpar::part

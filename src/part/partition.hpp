@@ -1,0 +1,311 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <stdexcept>
+
+#include "part/part.hpp"
+
+namespace vpar::part {
+
+/// N-dim Cartesian rank grid with axis-0-fastest linearization — the exact
+/// convention every hand-rolled decomposition in this repo used
+/// (rank = (... * p1 + c1) * p0 + c0), so ports stay bitwise-identical.
+template <std::size_t N>
+struct RankGrid {
+  std::array<int, N> dims{};
+  std::array<bool, N> periodic{};
+
+  RankGrid() { dims.fill(1); }
+  RankGrid(std::array<int, N> dims_in, std::array<bool, N> periodic_in)
+      : dims(dims_in), periodic(periodic_in) {
+    for (std::size_t a = 0; a < N; ++a) {
+      if (dims[a] < 1) throw std::invalid_argument("RankGrid: dims < 1");
+    }
+  }
+
+  [[nodiscard]] int size() const {
+    int p = 1;
+    for (std::size_t a = 0; a < N; ++a) p *= dims[a];
+    return p;
+  }
+
+  [[nodiscard]] std::array<int, N> coords_of(int rank) const {
+    check_rank(rank);
+    std::array<int, N> c{};
+    for (std::size_t a = 0; a < N; ++a) {
+      c[a] = rank % dims[a];
+      rank /= dims[a];
+    }
+    return c;
+  }
+
+  [[nodiscard]] int rank_of(const std::array<int, N>& c) const {
+    int rank = 0;
+    for (std::size_t a = N; a-- > 0;) {
+      if (c[a] < 0 || c[a] >= dims[a]) {
+        throw std::invalid_argument("RankGrid: coordinate out of range");
+      }
+      rank = rank * dims[a] + c[a];
+    }
+    return rank;
+  }
+
+  /// Rank one step along `axis` in direction `dir` (+1/-1); -1 when the step
+  /// leaves a non-periodic boundary. Periodic axes wrap (a 1-wide periodic
+  /// axis is its own neighbor, matching the hand-rolled decompositions).
+  [[nodiscard]] int neighbor(int rank, std::size_t axis, int dir) const {
+    if (axis >= N) throw std::invalid_argument("RankGrid: bad axis");
+    if (dir != 1 && dir != -1) throw std::invalid_argument("RankGrid: bad dir");
+    auto c = coords_of(rank);
+    int nc = c[axis] + dir;
+    if (nc < 0 || nc >= dims[axis]) {
+      if (!periodic[axis]) return -1;
+      nc = (nc % dims[axis] + dims[axis]) % dims[axis];
+    }
+    c[axis] = nc;
+    return rank_of(c);
+  }
+
+  void check_rank(int rank) const {
+    if (rank < 0 || rank >= size()) {
+      throw std::invalid_argument("RankGrid: rank out of range");
+    }
+  }
+};
+
+/// Contiguous block decomposition of an N-dim global domain over a RankGrid.
+/// Axis extents need not divide evenly: the first (extent % dims) ranks along
+/// an axis get one extra cell, every block stays contiguous, and the union of
+/// all blocks tiles the domain exactly once.
+template <std::size_t N>
+class BlockPartition {
+ public:
+  BlockPartition(Extent<N> global, std::array<int, N> dims,
+                 std::array<bool, N> periodic = {})
+      : global_(global), grid_(dims, periodic) {}
+
+  /// Factor `ranks` into a near-cubic grid for this domain automatically.
+  [[nodiscard]] static BlockPartition make(Extent<N> global, int ranks,
+                                           std::array<bool, N> periodic = {}) {
+    return BlockPartition(global, near_cubic_grid<N>(ranks, global), periodic);
+  }
+
+  [[nodiscard]] const Extent<N>& global() const { return global_; }
+  [[nodiscard]] const RankGrid<N>& grid() const { return grid_; }
+  [[nodiscard]] int size() const { return grid_.size(); }
+  [[nodiscard]] std::array<int, N> coords_of(int rank) const {
+    return grid_.coords_of(rank);
+  }
+  [[nodiscard]] int rank_of(const std::array<int, N>& c) const {
+    return grid_.rank_of(c);
+  }
+  [[nodiscard]] int neighbor(int rank, std::size_t axis, int dir) const {
+    return grid_.neighbor(rank, axis, dir);
+  }
+
+  /// Cells owned along `axis` by grid coordinate `c`.
+  [[nodiscard]] std::size_t axis_extent(std::size_t axis, int c) const {
+    const auto p = static_cast<std::size_t>(grid_.dims[axis]);
+    const auto uc = static_cast<std::size_t>(c);
+    const std::size_t base = global_[axis] / p;
+    const std::size_t rem = global_[axis] % p;
+    return base + (uc < rem ? 1 : 0);
+  }
+
+  /// Global index of the first cell along `axis` owned by coordinate `c`.
+  [[nodiscard]] std::size_t axis_origin(std::size_t axis, int c) const {
+    const auto p = static_cast<std::size_t>(grid_.dims[axis]);
+    const auto uc = static_cast<std::size_t>(c);
+    const std::size_t base = global_[axis] / p;
+    const std::size_t rem = global_[axis] % p;
+    return uc * base + (uc < rem ? uc : rem);
+  }
+
+  [[nodiscard]] Extent<N> local_extent(int rank) const {
+    const auto c = grid_.coords_of(rank);
+    Extent<N> e{};
+    for (std::size_t a = 0; a < N; ++a) e[a] = axis_extent(a, c[a]);
+    return e;
+  }
+
+  /// Global index of this rank's local origin (local index {0,...,0}).
+  [[nodiscard]] Index<N> origin(int rank) const {
+    const auto c = grid_.coords_of(rank);
+    Index<N> o{};
+    for (std::size_t a = 0; a < N; ++a) {
+      o[a] = static_cast<std::ptrdiff_t>(axis_origin(a, c[a]));
+    }
+    return o;
+  }
+
+  [[nodiscard]] Index<N> to_global(int rank, const Index<N>& local) const {
+    Index<N> g = origin(rank);
+    for (std::size_t a = 0; a < N; ++a) g[a] += local[a];
+    return g;
+  }
+
+  [[nodiscard]] Index<N> to_local(int rank, const Index<N>& global) const {
+    Index<N> o = origin(rank);
+    Index<N> l{};
+    for (std::size_t a = 0; a < N; ++a) l[a] = global[a] - o[a];
+    return l;
+  }
+
+  /// Grid coordinate owning global index `g` along `axis`.
+  [[nodiscard]] int axis_owner(std::size_t axis, std::size_t g) const {
+    if (g >= global_[axis]) {
+      throw std::invalid_argument("BlockPartition: global index out of range");
+    }
+    const auto p = static_cast<std::size_t>(grid_.dims[axis]);
+    const std::size_t base = global_[axis] / p;
+    const std::size_t rem = global_[axis] % p;
+    const std::size_t wide = rem * (base + 1);  // cells held by the +1 blocks
+    if (g < wide) return static_cast<int>(g / (base + 1));
+    return static_cast<int>(rem + (g - wide) / base);
+  }
+
+  [[nodiscard]] int owner_of(const Index<N>& global) const {
+    std::array<int, N> c{};
+    for (std::size_t a = 0; a < N; ++a) {
+      if (global[a] < 0) {
+        throw std::invalid_argument("BlockPartition: negative global index");
+      }
+      c[a] = axis_owner(a, static_cast<std::size_t>(global[a]));
+    }
+    return grid_.rank_of(c);
+  }
+
+  [[nodiscard]] bool owns(int rank, const Index<N>& global) const {
+    const Index<N> l = to_local(rank, global);
+    const Extent<N> e = local_extent(rank);
+    for (std::size_t a = 0; a < N; ++a) {
+      if (l[a] < 0 || l[a] >= static_cast<std::ptrdiff_t>(e[a])) return false;
+    }
+    return true;
+  }
+
+ private:
+  Extent<N> global_;
+  RankGrid<N> grid_;
+};
+
+/// Block-cyclic decomposition: the cells of each axis are cut into blocks of
+/// `block[axis]` cells dealt round-robin to the grid coordinates, so load
+/// stays balanced when work density varies across the domain (the classic
+/// ScaLAPACK layout). Locally each coordinate packs its blocks contiguously
+/// in deal order.
+template <std::size_t N>
+class BlockCyclicPartition {
+ public:
+  BlockCyclicPartition(Extent<N> global, std::array<int, N> dims,
+                       Extent<N> block, std::array<bool, N> periodic = {})
+      : global_(global), block_(block), grid_(dims, periodic) {
+    for (std::size_t a = 0; a < N; ++a) {
+      if (block_[a] == 0) {
+        throw std::invalid_argument("BlockCyclicPartition: zero block");
+      }
+    }
+  }
+
+  [[nodiscard]] const Extent<N>& global() const { return global_; }
+  [[nodiscard]] const Extent<N>& block() const { return block_; }
+  [[nodiscard]] const RankGrid<N>& grid() const { return grid_; }
+  [[nodiscard]] int size() const { return grid_.size(); }
+  [[nodiscard]] std::array<int, N> coords_of(int rank) const {
+    return grid_.coords_of(rank);
+  }
+  [[nodiscard]] int rank_of(const std::array<int, N>& c) const {
+    return grid_.rank_of(c);
+  }
+  [[nodiscard]] int neighbor(int rank, std::size_t axis, int dir) const {
+    return grid_.neighbor(rank, axis, dir);
+  }
+
+  [[nodiscard]] int axis_owner(std::size_t axis, std::size_t g) const {
+    if (g >= global_[axis]) {
+      throw std::invalid_argument("BlockCyclicPartition: index out of range");
+    }
+    return static_cast<int>((g / block_[axis]) %
+                            static_cast<std::size_t>(grid_.dims[axis]));
+  }
+
+  [[nodiscard]] int owner_of(const Index<N>& global) const {
+    std::array<int, N> c{};
+    for (std::size_t a = 0; a < N; ++a) {
+      if (global[a] < 0) {
+        throw std::invalid_argument("BlockCyclicPartition: negative index");
+      }
+      c[a] = axis_owner(a, static_cast<std::size_t>(global[a]));
+    }
+    return grid_.rank_of(c);
+  }
+
+  /// Cells owned along `axis` by grid coordinate `c`.
+  [[nodiscard]] std::size_t axis_extent(std::size_t axis, int c) const {
+    const std::size_t n = global_[axis];
+    const std::size_t b = block_[axis];
+    const auto p = static_cast<std::size_t>(grid_.dims[axis]);
+    const auto uc = static_cast<std::size_t>(c);
+    const std::size_t blocks = (n + b - 1) / b;
+    if (blocks == 0) return 0;
+    const std::size_t owned = blocks / p + (uc < blocks % p ? 1 : 0);
+    // The final block may be partial; its owner gives back the shortfall.
+    const std::size_t shortfall =
+        (uc == (blocks - 1) % p && owned > 0) ? blocks * b - n : 0;
+    return owned * b - shortfall;
+  }
+
+  [[nodiscard]] Extent<N> local_extent(int rank) const {
+    const auto c = grid_.coords_of(rank);
+    Extent<N> e{};
+    for (std::size_t a = 0; a < N; ++a) e[a] = axis_extent(a, c[a]);
+    return e;
+  }
+
+  /// Local position (within the owner's packed blocks) of global cell `g`.
+  [[nodiscard]] std::size_t axis_local(std::size_t axis, std::size_t g) const {
+    const std::size_t b = block_[axis];
+    const auto p = static_cast<std::size_t>(grid_.dims[axis]);
+    return (g / b) / p * b + g % b;
+  }
+
+  /// Global position of the owner-coordinate `c`'s local cell `l`.
+  [[nodiscard]] std::size_t axis_global(std::size_t axis, int c,
+                                        std::size_t l) const {
+    const std::size_t b = block_[axis];
+    const auto p = static_cast<std::size_t>(grid_.dims[axis]);
+    const std::size_t g =
+        (l / b * p + static_cast<std::size_t>(c)) * b + l % b;
+    if (g >= global_[axis]) {
+      throw std::invalid_argument("BlockCyclicPartition: local out of range");
+    }
+    return g;
+  }
+
+  [[nodiscard]] Index<N> to_local(const Index<N>& global) const {
+    Index<N> l{};
+    for (std::size_t a = 0; a < N; ++a) {
+      l[a] = static_cast<std::ptrdiff_t>(
+          axis_local(a, static_cast<std::size_t>(global[a])));
+    }
+    return l;
+  }
+
+  [[nodiscard]] Index<N> to_global(int rank, const Index<N>& local) const {
+    const auto c = grid_.coords_of(rank);
+    Index<N> g{};
+    for (std::size_t a = 0; a < N; ++a) {
+      g[a] = static_cast<std::ptrdiff_t>(
+          axis_global(a, c[a], static_cast<std::size_t>(local[a])));
+    }
+    return g;
+  }
+
+ private:
+  Extent<N> global_;
+  Extent<N> block_;
+  RankGrid<N> grid_;
+};
+
+}  // namespace vpar::part

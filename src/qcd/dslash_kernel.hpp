@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstddef>
+
+#include "qcd/dslash.hpp"
+#include "qcd/lattice.hpp"
+#include "simd/simd.hpp"
+
+/// Width-templated staggered-Dslash row body, shared by the scalar reference
+/// (W=1, dslash.cpp) and the AVX/AVX-512 dispatch clones (dslash_simd.cpp).
+/// One template means scalar and SIMD execute the *identical* expression
+/// tree; with -ffp-contract=off on both translation units every width
+/// produces bitwise-identical rows.
+
+namespace vpar::qcd::detail {
+
+/// out(x) = sum_mu eta_mu [ U_mu psi(x+mu) - U_mu^dagger psi(x-mu) ]
+/// over sites i0..i1 of one (y,z,t) row of the target parity. All neighbor
+/// rows are stride-1 in the half-lattice x index (the even/odd split makes
+/// the x offsets row constants), so every load is a contiguous vector load.
+template <std::size_t W>
+VPAR_SIMD_INLINE void dslash_row_w(const RowPointers& p, std::size_t i0,
+                                   std::size_t i1) {
+  using V = simd::vec<W>;
+  using simd::load;
+  using simd::splat;
+  using simd::store;
+  const LinkMatrices& u = links();
+
+  for (std::size_t i = i0; i < i1; i += W) {
+    V acc_re[kColors], acc_im[kColors];
+    for (std::size_t c = 0; c < kColors; ++c) {
+      acc_re[c] = splat<W>(0.0);
+      acc_im[c] = splat<W>(0.0);
+    }
+    for (std::size_t mu = 0; mu < 4; ++mu) {
+      const V eta = splat<W>(p.eta[mu]);
+      V fr[kColors], fi[kColors], br[kColors], bi[kColors];
+      for (std::size_t d = 0; d < kColors; ++d) {
+        fr[d] = load<W>(p.fwd[mu][2 * d] + i);
+        fi[d] = load<W>(p.fwd[mu][2 * d + 1] + i);
+        br[d] = load<W>(p.bwd[mu][2 * d] + i);
+        bi[d] = load<W>(p.bwd[mu][2 * d + 1] + i);
+      }
+      for (std::size_t c = 0; c < kColors; ++c) {
+        V tre = splat<W>(0.0), tim = splat<W>(0.0);
+        V sre = splat<W>(0.0), sim = splat<W>(0.0);
+        for (std::size_t d = 0; d < kColors; ++d) {
+          const V ur = splat<W>(u.re[mu][c][d]);
+          const V ui = splat<W>(u.im[mu][c][d]);
+          tre = tre + (ur * fr[d] - ui * fi[d]);
+          tim = tim + (ur * fi[d] + ui * fr[d]);
+          // Backward hop applies U^dagger: conj(U[d][c]).
+          const V vr = splat<W>(u.re[mu][d][c]);
+          const V vi = splat<W>(u.im[mu][d][c]);
+          sre = sre + (vr * br[d] + vi * bi[d]);
+          sim = sim + (vr * bi[d] - vi * br[d]);
+        }
+        acc_re[c] = acc_re[c] + eta * (tre - sre);
+        acc_im[c] = acc_im[c] + eta * (tim - sim);
+      }
+    }
+    for (std::size_t c = 0; c < kColors; ++c) {
+      store<W>(p.out[2 * c] + i, acc_re[c]);
+      store<W>(p.out[2 * c + 1] + i, acc_im[c]);
+    }
+  }
+}
+
+/// Vector strip then W=1 scalar tail, both instantiated from the same body.
+template <std::size_t W>
+VPAR_SIMD_INLINE void dslash_span_w(const RowPointers& p, std::size_t n) {
+  const std::size_t nv = n / W * W;
+  dslash_row_w<W>(p, 0, nv);
+  dslash_row_w<1>(p, nv, n);
+}
+
+}  // namespace vpar::qcd::detail

@@ -1,0 +1,48 @@
+#include "qcd/lattice.hpp"
+
+namespace vpar::qcd {
+
+namespace {
+
+/// Dense real orthogonal base matrix: the product of three 3-4-5 Givens
+/// rotations (xy, yz, zx planes with cos=0.6/sin=0.8), written out exactly.
+constexpr double kBase[3][3] = {
+    {0.872, 0.48, -0.096},
+    {-0.096, 0.36, 0.928},
+    {0.48, -0.8, 0.36},
+};
+
+/// Unit phases (cos, sin) from Pythagorean triples — per-direction, per-row.
+constexpr double kPhase[4][3][2] = {
+    {{1.0, 0.0}, {0.6, 0.8}, {0.8, -0.6}},
+    {{0.6, 0.8}, {-0.28, 0.96}, {1.0, 0.0}},
+    {{0.8, -0.6}, {1.0, 0.0}, {0.6, -0.8}},
+    {{-0.28, 0.96}, {0.8, 0.6}, {0.28, 0.96}},
+};
+
+LinkMatrices build_links() {
+  LinkMatrices u;
+  for (std::size_t mu = 0; mu < 4; ++mu) {
+    for (std::size_t r = 0; r < kColors; ++r) {
+      const double cr = kPhase[mu][r][0];
+      const double ci = kPhase[mu][r][1];
+      for (std::size_t c = 0; c < kColors; ++c) {
+        // Row phase times the (cyclically shifted per direction) base row:
+        // each direction mixes the colors differently but stays unitary.
+        const double b = kBase[(r + mu) % kColors][c];
+        u.re[mu][r][c] = cr * b;
+        u.im[mu][r][c] = ci * b;
+      }
+    }
+  }
+  return u;
+}
+
+}  // namespace
+
+const LinkMatrices& links() {
+  static const LinkMatrices u = build_links();
+  return u;
+}
+
+}  // namespace vpar::qcd

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+/// Lattice-QCD-style 4D staggered stencil — the fifth application. The
+/// workload class the paper's machines were famous for ("Lattice QCD on the
+/// Earth Simulator"): a 4D nearest-neighbor stencil with an SU(3)-like
+/// 3-component complex vector per site, an 8-direction gather per site
+/// update, and global norm/plaquette reductions. Domain decomposition and
+/// halo exchange come entirely from the vpar_part library (src/part/) —
+/// nothing here hand-rolls a decomposition.
+
+namespace vpar::qcd {
+
+inline constexpr std::size_t kColors = 3;
+/// Planes per parity field: re/im per color, separate plane each, so the
+/// x-row sweeps vectorize as pure stride-1 streams.
+inline constexpr std::size_t kPlanes = 2 * kColors;
+
+/// Constant per-direction SU(3)-like link matrices U_mu (3x3 complex,
+/// unitary by construction: a dense real rotation with per-row complex
+/// phases). Real QCD carries a U per lattice *link*; a constant U per
+/// *direction* preserves the full arithmetic (dense complex mat-vec per
+/// direction per site) and the exact communication pattern while keeping
+/// every rank's data deterministic without a gauge-field distribution.
+struct LinkMatrices {
+  // re[mu][row][col], im[mu][row][col]
+  std::array<std::array<std::array<double, kColors>, kColors>, 4> re{};
+  std::array<std::array<std::array<double, kColors>, kColors>, 4> im{};
+};
+
+/// The process-wide constant links (built once, plain arithmetic only — no
+/// libm — so every build and every rank agrees bitwise).
+[[nodiscard]] const LinkMatrices& links();
+
+/// Flops per site of one dslash application, counted from the kernel body:
+/// 4 directions x 3 output colors x (24 forward + 24 backward + 6 combine).
+[[nodiscard]] constexpr double dslash_flops_per_site() { return 648.0; }
+
+/// Bytes per site: 8 neighbor gathers + 1 store of 6 doubles each.
+[[nodiscard]] constexpr double dslash_bytes_per_site() {
+  return 9.0 * kPlanes * sizeof(double);
+}
+
+/// Staggered phase of direction `mu` at full-lattice coordinates (x,y,z,t):
+/// eta_x = 1, eta_y = (-1)^x, eta_z = (-1)^(x+y), eta_t = (-1)^(x+y+z).
+[[nodiscard]] inline double staggered_eta(std::size_t mu, std::ptrdiff_t x,
+                                          std::ptrdiff_t y, std::ptrdiff_t z) {
+  std::ptrdiff_t s = 0;
+  if (mu >= 1) s += x;
+  if (mu >= 2) s += y;
+  if (mu >= 3) s += z;
+  return (s & 1) != 0 ? -1.0 : 1.0;
+}
+
+}  // namespace vpar::qcd

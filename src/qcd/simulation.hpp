@@ -1,0 +1,103 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "part/halo.hpp"
+#include "part/partition.hpp"
+#include "qcd/dslash.hpp"
+#include "qcd/lattice.hpp"
+#include "simrt/communicator.hpp"
+
+namespace vpar::qcd {
+
+/// Configuration of one staggered-lattice run. The processor grid is an
+/// N-dim part::BlockPartition grid: zero entries of `dims` are auto-factored
+/// near-cubically over the even/odd half lattice (nx/2, ny, nz, nt). Every
+/// axis is periodic (the standard lattice-QCD torus).
+struct Options {
+  std::size_t nx = 8, ny = 8, nz = 8, nt = 16;  ///< global full lattice
+  std::array<int, 4> dims{};  ///< rank grid; 0 entries auto-factored
+  /// Rescale psi to unit global norm each step (power iteration). The
+  /// allreduced norm makes per-rank partial sums associate differently at
+  /// different P, so cross-P bitwise comparisons disable this.
+  bool normalize = true;
+};
+
+/// Globally allreduced observables.
+struct Diagnostics {
+  double norm2 = 0.0;        ///< |psi|^2 over the full lattice
+  double link_energy = 0.0;  ///< plaquette-style Re<psi(x), U_mu psi(x+mu)>
+};
+
+/// 4D even/odd staggered-stencil simulation on a periodic lattice,
+/// block-distributed by part::BlockPartition<4>. One step() is a Dslash
+/// power-iteration sweep: exchange odd halos, even <- D psi_odd, exchange
+/// even halos, odd <- D psi_even, then (optionally) normalize by the global
+/// norm. Site vectors are SU(3)-like 3-component complexes stored as six
+/// separate re/im planes per parity so the x sweeps vectorize stride-1.
+class Simulation {
+ public:
+  Simulation(simrt::Communicator& comm, const Options& options);
+
+  /// Deterministic site-coded initial vector (independent of P).
+  void initialize();
+  void step();
+  void run(int steps);
+
+  [[nodiscard]] Diagnostics diagnostics();
+
+  /// Per-rank checkpoint of the complete evolving state (both parity
+  /// fields, ghosts included); everything else is configuration, so
+  /// restoring into a Simulation built with the same options replays the
+  /// run bitwise-identically — the elastic-restart contract.
+  struct Checkpoint {
+    std::vector<double> even, odd;
+  };
+  [[nodiscard]] Checkpoint save_state() const;
+  void restore_state(const Checkpoint& checkpoint);
+
+  /// Assemble the full-lattice field on rank 0 (empty on other ranks):
+  /// site-major (t, z, y, x) with kPlanes values per site — decomposition-
+  /// independent, so bitwise comparison across P is meaningful.
+  [[nodiscard]] std::vector<double> gather_psi();
+
+  [[nodiscard]] const part::BlockPartition<4>& partition() const {
+    return half_;
+  }
+  [[nodiscard]] const HalfGeom& geom() const { return geom_; }
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// Resolve the rank grid the constructor would use for `ranks` ranks.
+  [[nodiscard]] static std::array<int, 4> resolve_dims(const Options& options,
+                                                       int ranks);
+
+ private:
+  [[nodiscard]] double* plane(std::vector<double>& field, std::size_t p) {
+    return field.data() + p * geom_.layout.total();
+  }
+  [[nodiscard]] std::array<double*, kPlanes> planes(std::vector<double>& f) {
+    std::array<double*, kPlanes> out{};
+    for (std::size_t p = 0; p < kPlanes; ++p) out[p] = plane(f, p);
+    return out;
+  }
+  [[nodiscard]] std::array<const double*, kPlanes> cplanes(
+      std::vector<double>& f) {
+    std::array<const double*, kPlanes> out{};
+    for (std::size_t p = 0; p < kPlanes; ++p) out[p] = plane(f, p);
+    return out;
+  }
+  void exchange(std::vector<double>& field);
+  [[nodiscard]] double local_norm2();
+  void scale_fields(double s);
+
+  simrt::Communicator* comm_;
+  Options options_;
+  part::BlockPartition<4> half_;  ///< half lattice (x/2) decomposition
+  HalfGeom geom_;
+  part::HaloSchedule<4> schedule_;
+  std::vector<double> even_, odd_;  ///< kPlanes ghost-extended planes each
+};
+
+}  // namespace vpar::qcd

@@ -49,6 +49,19 @@ TEST(AppRegistry, MatchesPaperTableTwo) {
   EXPECT_EQ(apps[3].structure, "Particle");
 }
 
+TEST(AppRegistry, ExtendedRegistryAppendsQcdWithoutTouchingTableTwo) {
+  const auto& extended = extended_application_registry();
+  ASSERT_EQ(extended.size(), 5u);
+  // Prefix is Table 2 verbatim...
+  const auto& apps = application_registry();
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    EXPECT_EQ(extended[i].name, apps[i].name);
+  }
+  // ...and the fifth application rides behind it.
+  EXPECT_EQ(extended[4].name, "QCD");
+  EXPECT_EQ(extended[4].structure, "Grid/4D");
+}
+
 TEST(ProfileBuilder, PicksCriticalPathRank) {
   auto result = simrt::run(3, [](simrt::Communicator& comm) {
     // Rank 1 does the most work.

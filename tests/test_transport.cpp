@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "lbmhd/simulation.hpp"
+#include "qcd/simulation.hpp"
 #include "simrt/distributed.hpp"
 #include "simrt/fault.hpp"
 #include "simrt/runtime.hpp"
@@ -183,6 +184,26 @@ std::vector<double> lbmhd_final_fields(Communicator& comm, int steps) {
   return out;
 }
 
+constexpr int kQcdSteps = 4;
+
+vpar::qcd::Options qcd_options() {
+  vpar::qcd::Options opt;
+  opt.nx = 8;
+  opt.ny = 4;
+  opt.nz = 4;
+  opt.nt = 6;
+  return opt;
+}
+
+/// Run the small QCD problem (4D halo exchange through vpar_part plus the
+/// per-step norm allreduce) and return the gathered field on rank 0.
+std::vector<double> qcd_final_psi(Communicator& comm, int steps) {
+  vpar::qcd::Simulation sim(comm, qcd_options());
+  sim.initialize();
+  sim.run(steps);
+  return sim.gather_psi();
+}
+
 void ring_and_collectives_body(Communicator& comm) {
   const int rank = comm.rank();
   const int P = comm.size();
@@ -240,6 +261,18 @@ int child_lbmhd() {
   vpar::simrt::run(world, [&](Communicator& comm) {
     const auto fields = lbmhd_final_fields(comm, kLbmhdSteps);
     if (comm.rank() == 0) write_doubles(path, fields);
+  });
+  return 0;
+}
+
+int child_qcd() {
+  const int world = vpar::simrt::distributed_world();
+  const char* out_path = std::getenv("VPAR_TEST_OUT");
+  if (world != 4 || out_path == nullptr) return 3;
+  const std::string path = out_path;
+  vpar::simrt::run(world, [&](Communicator& comm) {
+    const auto psi = qcd_final_psi(comm, kQcdSteps);
+    if (comm.rank() == 0) write_doubles(path, psi);
   });
   return 0;
 }
@@ -337,6 +370,7 @@ int vpar_child_main(const std::string& mode) {
   try {
     if (mode == "ring") return child_ring();
     if (mode == "lbmhd") return child_lbmhd();
+    if (mode == "qcd") return child_qcd();
     if (mode == "lbmhd_kill") return child_lbmhd_kill();
     if (mode == "chaos") return child_chaos();
     std::fprintf(stderr, "unknown --vpar-child mode '%s'\n", mode.c_str());
@@ -561,6 +595,39 @@ TEST(SocketTransport, LbmhdBitwiseMatchesInproc) {
 
 TEST(ShmTransport, LbmhdBitwiseMatchesInproc) {
   expect_lbmhd_equivalence("shm");
+}
+
+/// In-process reference for the QCD equivalence runs.
+std::vector<double> qcd_inproc_reference() {
+  std::vector<double> reference;
+  vpar::simrt::run(4, [&](Communicator& comm) {
+    const auto psi = qcd_final_psi(comm, kQcdSteps);
+    if (comm.rank() == 0) reference = psi;
+  });
+  return reference;
+}
+
+void expect_qcd_equivalence(const char* transport) {
+  Session session;
+  const std::string out = session.dir + "/psi.bin";
+  const auto codes = launch_world(transport, 4, "qcd", session.dir,
+                                  {{"VPAR_TEST_OUT", out}});
+  ASSERT_EQ(codes, (std::vector<int>{0, 0, 0, 0}));
+  const auto distributed = read_doubles(out);
+  const auto reference = qcd_inproc_reference();
+  ASSERT_FALSE(reference.empty());
+  ASSERT_EQ(distributed.size(), reference.size());
+  EXPECT_EQ(std::memcmp(distributed.data(), reference.data(),
+                        reference.size() * sizeof(double)),
+            0);
+}
+
+TEST(SocketTransport, QcdBitwiseMatchesInproc) {
+  expect_qcd_equivalence("socket");
+}
+
+TEST(ShmTransport, QcdBitwiseMatchesInproc) {
+  expect_qcd_equivalence("shm");
 }
 
 TEST(SocketTransport, SeededChaosSmoke) {
